@@ -1,0 +1,75 @@
+"""Extension: message compression (Section 7's named future work).
+
+"Message compression is also an important optimization method [4], [27],
+[28], which is orthogonal to our work. It may be integrated with our work
+in future." This bench integrates it: a wire-compression factor on record
+payloads, measured functionally and priced at full-machine scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.perf import CostModel
+from repro.utils.tables import Table
+from repro.utils.units import fmt_bytes, fmt_time
+
+SCALE = 13
+NODES = 8
+RATIOS = (1.0, 2.0, 4.0)
+
+
+def run_sweep():
+    edges = KroneckerGenerator(scale=SCALE, seed=53).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    rows = []
+    for ratio in RATIOS:
+        cfg = BFSConfig(
+            compression_ratio=ratio,
+            hub_count_topdown=32,
+            hub_count_bottomup=32,
+        )
+        bfs = DistributedBFS(edges, NODES, config=cfg, nodes_per_super_node=4)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        rows.append((ratio, result.stats["bytes"], result.sim_seconds))
+    return rows
+
+
+def render(rows, model_points) -> str:
+    t = Table(
+        ["compression", "wire bytes", "sim time"],
+        title=f"Compression extension (functional): scale {SCALE}, {NODES} nodes",
+    )
+    for ratio, nbytes, seconds in rows:
+        t.add_row([f"{ratio:g}x", fmt_bytes(nbytes), fmt_time(seconds)])
+    t2 = Table(
+        ["compression", "modelled GTEPS @ full machine, 26.2M vpn"],
+        title="Compression extension (modelled)",
+    )
+    for ratio, gteps in model_points:
+        t2.add_row([f"{ratio:g}x", f"{gteps:,.0f}"])
+    return t.render() + "\n\n" + t2.render()
+
+
+def test_ablation_compression(benchmark, save_report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    cost = CostModel()
+    model_points = [
+        (r, cost.evaluate(40_768, 26.2e6, BFSConfig(compression_ratio=r)).gteps)
+        for r in RATIOS
+    ]
+    save_report("ablation_compression", render(rows, model_points))
+
+    # Wire bytes shrink monotonically with the ratio; results stay valid.
+    wire = [b for _, b, _ in rows]
+    assert wire == sorted(wire, reverse=True)
+    assert wire[0] > 1.5 * wire[-1]
+    # At full-machine scale, where the central trunk dominates, compression
+    # buys real GTEPS — the paper's expectation for the integration.
+    gteps = [g for _, g in model_points]
+    assert gteps[1] > 1.1 * gteps[0]
+    assert gteps[2] >= gteps[1]

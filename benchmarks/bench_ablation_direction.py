@@ -1,0 +1,76 @@
+"""Ablation: direction optimisation (hybrid vs pure top-down).
+
+The paper adopts direction optimisation because it "can skip massive
+unnecessary edge look-ups" on power-law graphs. This ablation measures the
+saving functionally (records shuffled, simulated time) and in the model.
+"""
+
+import numpy as np
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.perf import CostModel
+from repro.utils.tables import Table
+from repro.utils.units import fmt_time
+
+SCALE = 13
+NODES = 8
+
+
+def run_functional():
+    edges = KroneckerGenerator(scale=SCALE, seed=31).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    out = {}
+    for label, cfg in (
+        ("hybrid", BFSConfig(use_hub_prefetch=False)),
+        ("pure top-down", BFSConfig(direction_optimizing=False, use_hub_prefetch=False)),
+    ):
+        bfs = DistributedBFS(edges, NODES, config=cfg, nodes_per_super_node=4)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        out[label] = result
+    return out
+
+
+def render(results, model_points) -> str:
+    t = Table(
+        ["policy", "records", "sim time", "BU levels"],
+        title=f"Direction ablation (functional): scale {SCALE}, {NODES} nodes",
+    )
+    for label, r in results.items():
+        t.add_row(
+            [label, int(r.stats["records_sent"]), fmt_time(r.sim_seconds),
+             int(r.stats["bu_levels"])]
+        )
+    t2 = Table(
+        ["policy", "modelled GTEPS @ 4096 nodes, 16M vpn"],
+        title="Direction ablation (modelled)",
+    )
+    for label, gteps in model_points.items():
+        t2.add_row([label, f"{gteps:,.0f}"])
+    return t.render() + "\n\n" + t2.render()
+
+
+def test_ablation_direction(benchmark, save_report):
+    results = benchmark.pedantic(run_functional, rounds=1, iterations=1)
+    cost = CostModel()
+    model_points = {
+        "hybrid": cost.evaluate(
+            4096, 16e6, BFSConfig(use_hub_prefetch=False)
+        ).gteps,
+        "pure top-down": cost.evaluate(
+            4096, 16e6,
+            BFSConfig(direction_optimizing=False, use_hub_prefetch=False),
+        ).gteps,
+    }
+    save_report("ablation_direction", render(results, model_points))
+
+    hybrid, plain = results["hybrid"], results["pure top-down"]
+    # The hybrid switched at least once and shuffled far fewer records.
+    assert hybrid.stats["bu_levels"] >= 1
+    assert hybrid.stats["records_sent"] < 0.5 * plain.stats["records_sent"]
+    assert hybrid.sim_seconds < plain.sim_seconds
+    # The model agrees at scale.
+    assert model_points["hybrid"] > 2 * model_points["pure top-down"]

@@ -1,0 +1,78 @@
+"""Ablation: 1-D (the paper's choice) vs 2-D partitioning.
+
+Section 7: "The distributed BFS algorithm can be divided into 1D and 2D
+partitioning in terms of data layout [26]; Buluc et al. discuss the pros
+and cons [6]." This bench runs both decompositions on the same graph and
+machine and reports the trade the literature describes: 2-D bounds the
+connection set by the grid dimensions but ships frontier bitmaps up the
+processor columns every level, while the paper's 1-D + relay gets the same
+connection bound from group batching and moves records only.
+"""
+
+import numpy as np
+
+from repro.baselines.twod import TwoDBFS
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.utils.tables import Table
+from repro.utils.units import fmt_bytes, fmt_time
+
+SCALE = 12
+NODES = 16  # 4x4 grid for the 2-D runs
+
+
+def run_comparison():
+    edges = KroneckerGenerator(scale=SCALE, seed=59).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    cfg = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    plain_cfg = BFSConfig(
+        direction_optimizing=False, use_hub_prefetch=False, use_relay=False
+    )
+
+    out = {}
+    one_d = DistributedBFS(edges, NODES, config=cfg, nodes_per_super_node=4)
+    out["1D + relay (paper)"] = (one_d.run(root), one_d.cluster.max_connections())
+    one_plain = DistributedBFS(edges, NODES, config=plain_cfg, nodes_per_super_node=4)
+    out["1D plain top-down"] = (one_plain.run(root), one_plain.cluster.max_connections())
+    two_d = TwoDBFS(edges, 4, 4, config=plain_cfg, nodes_per_super_node=4)
+    out["2D 4x4 grid"] = (two_d.run(root), two_d.cluster.max_connections())
+
+    for result, _ in out.values():
+        validate_bfs_result(graph, edges, root, result.parent)
+    return out
+
+
+def render(out) -> str:
+    t = Table(
+        ["layout", "sim time", "messages", "bytes", "max conns"],
+        title=f"1-D vs 2-D partitioning: scale {SCALE}, {NODES} nodes",
+    )
+    for label, (r, conns) in out.items():
+        t.add_row(
+            [label, fmt_time(r.sim_seconds), int(r.stats["messages"]),
+             fmt_bytes(r.stats["bytes"]), conns]
+        )
+    return t.render()
+
+
+def test_ablation_partition(benchmark, save_report):
+    out = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    save_report("ablation_partition", render(out))
+    paper, paper_conns = out["1D + relay (paper)"]
+    plain, plain_conns = out["1D plain top-down"]
+    twod, twod_conns = out["2D 4x4 grid"]
+    # 2-D and relayed 1-D both bound their connection sets by the grid...
+    assert twod_conns <= (4 - 1) + (4 - 1)
+    assert paper_conns <= (4 - 1) + (4 - 1)
+    # ...while plain direct 1-D talks to everyone.
+    assert plain_conns == NODES - 1
+    # Direction optimisation + hubs move by far the fewest bytes.
+    assert paper.stats["bytes"] < 0.5 * plain.stats["bytes"]
+    # 2-D ships fewer, larger transfers than record-level plain 1-D.
+    assert twod.stats["messages"] < plain.stats["messages"]
+    # (Simulated *times* at this toy scale favour whichever scheme has the
+    # least per-level control traffic; the scale-dependent ordering is the
+    # Figure 11/12 benches' job.)
+    assert all(r.sim_seconds > 0 for r, _ in out.values())

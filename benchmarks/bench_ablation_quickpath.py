@@ -1,0 +1,59 @@
+"""Ablation: the small-message quick path (Section 5).
+
+"If the input of a module is small enough, the work is done in the MPE
+directly instead of sending it to a CPE cluster. We set the threshold to
+1 KB." The sweep compares never (0), the paper's 1 KB, and always-MPE
+(inf) on a workload with many small module inputs.
+"""
+
+import numpy as np
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.utils.tables import Table
+from repro.utils.units import fmt_time
+
+SCALE = 13
+NODES = 16
+THRESHOLDS = (0, 1024, 1 << 30)
+LABELS = {0: "never (always cluster)", 1024: "1 KB (paper)", 1 << 30: "always MPE"}
+
+
+def run_sweep():
+    edges = KroneckerGenerator(scale=SCALE, seed=41).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    rows = []
+    for threshold in THRESHOLDS:
+        cfg = BFSConfig(
+            quick_path_threshold=threshold,
+            hub_count_topdown=32,
+            hub_count_bottomup=32,
+        )
+        bfs = DistributedBFS(edges, NODES, config=cfg, nodes_per_super_node=4)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        rows.append((threshold, result.sim_seconds))
+    return rows
+
+
+def render(rows) -> str:
+    t = Table(
+        ["threshold", "sim time"],
+        title=f"Quick-path ablation: scale {SCALE}, {NODES} nodes",
+    )
+    for threshold, seconds in rows:
+        t.add_row([LABELS[threshold], fmt_time(seconds)])
+    return t.render()
+
+
+def test_ablation_quickpath(benchmark, save_report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_report("ablation_quickpath", render(rows))
+    times = dict(rows)
+    # The paper's 1 KB threshold is never worse than either extreme.
+    assert times[1024] <= times[0] * 1.001
+    assert times[1024] <= times[1 << 30] * 1.001
+    # Forcing everything onto the MPE hurts on the big levels.
+    assert times[1 << 30] > times[1024]

@@ -1,0 +1,54 @@
+"""Extension: energy accounting (Green-Graph500 style).
+
+The paper motivates TaihuLight with "extremely large-scale computation and
+power efficiency"; this bench prices each Figure 11 variant's energy per
+traversed edge and GTEPS/MW at a mid-size machine, showing the same 10x
+CPE/MPE story in joules.
+"""
+
+from repro.errors import ConfigError
+from repro.perf.energy import EnergyModel
+from repro.utils.tables import Table
+
+NODES = 4096
+VPN = 16e6
+VARIANTS = ("relay-cpe", "relay-mpe", "direct-mpe")
+
+model = EnergyModel()
+
+
+def run_sweep():
+    out = {}
+    for variant in VARIANTS:
+        try:
+            out[variant] = model.evaluate(NODES, VPN, variant)
+        except ConfigError as exc:  # pragma: no cover - none crash at 4096
+            out[variant] = exc
+    return out
+
+
+def render(out) -> str:
+    t = Table(
+        ["variant", "nJ/edge", "GTEPS/MW", "static share"],
+        title=f"Energy extension: {NODES} nodes, 16M vertices/node",
+    )
+    for variant, e in out.items():
+        t.add_row(
+            [variant, f"{e.nanojoules_per_edge:.1f}",
+             f"{e.gteps_per_megawatt:,.0f}",
+             f"{100 * e.static_joules / e.total_joules:.0f}%"]
+        )
+    return t.render()
+
+
+def test_extension_energy(benchmark, save_report):
+    out = benchmark(run_sweep)
+    save_report("extension_energy", render(out))
+    cpe, mpe = out["relay-cpe"], out["relay-mpe"]
+    # Faster is greener: the CPE variant wins energy/edge by roughly the
+    # same factor it wins time.
+    assert cpe.nanojoules_per_edge < mpe.nanojoules_per_edge / 4
+    assert cpe.gteps_per_megawatt > 4 * mpe.gteps_per_megawatt
+    # Static power dominates everywhere at these run lengths.
+    for e in out.values():
+        assert e.static_joules / e.total_joules > 0.5

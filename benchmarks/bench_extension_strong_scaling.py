@@ -1,0 +1,42 @@
+"""Extension: strong scaling (the paper reports only weak scaling).
+
+Fixed total problem (scale 36), growing node counts. The same fixed
+per-level costs that flatten Figure 12's small-size lines produce the
+classic strong-scaling rolloff here.
+"""
+
+from repro.perf import ScalingModel
+from repro.utils.tables import Table
+
+model = ScalingModel()
+
+
+def run_sweep():
+    return model.strong_scaling(scale=36)
+
+
+def render(points) -> str:
+    t = Table(
+        ["nodes", "vertices/node", "GTEPS", "speedup", "efficiency"],
+        title="Strong scaling (extension): scale 36 fixed, Relay CPE",
+    )
+    base = points[0]
+    for p in points:
+        speedup = p.gteps / base.gteps
+        ideal = p.nodes / base.nodes
+        t.add_row(
+            [p.nodes, f"{p.vertices_per_node:,.0f}", f"{p.gteps:,.0f}",
+             f"{speedup:.1f}x", f"{100 * speedup / ideal:.0f}%"]
+        )
+    return t.render()
+
+
+def test_extension_strong_scaling(benchmark, save_report):
+    points = benchmark(run_sweep)
+    save_report("extension_strong_scaling", render(points))
+    gteps = [p.gteps for p in points]
+    # Real speedup at first, a peak before the end, poor final efficiency.
+    assert gteps[1] > 2 * gteps[0]
+    assert max(gteps) > gteps[-1]
+    final_eff = (gteps[-1] / gteps[0]) / (points[-1].nodes / points[0].nodes)
+    assert final_eff < 0.2

@@ -1,0 +1,116 @@
+"""Figure 11: performance comparison of the four technique combinations.
+
+Two layers, as in DESIGN.md:
+
+- **functional grounding** — the four variants executed end-to-end on the
+  simulator at small scale (validated traversals, simulated times);
+- **analytic extension** — the calibrated model sweeps 64 -> 40,768 nodes
+  at the figure's 16M vertices/node, reproducing the crossovers, the
+  ~10x CPE/MPE gap, and both crash points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_variant
+from repro.core import BFSConfig
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.perf import ScalingModel
+from repro.perf.scaling import FIG11_NODE_COUNTS, FIG11_VARIANTS
+from repro.utils.tables import Table
+from repro.utils.units import fmt_time
+
+FUNCTIONAL_SCALE = 13
+FUNCTIONAL_NODES = 16
+
+
+def run_functional():
+    edges = KroneckerGenerator(scale=FUNCTIONAL_SCALE, seed=17).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    cfg = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    out = {}
+    for name in FIG11_VARIANTS:
+        bfs = make_variant(
+            name, edges, FUNCTIONAL_NODES, config=cfg, nodes_per_super_node=4
+        )
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        out[name] = result
+    return out
+
+
+def run_model():
+    return ScalingModel().fig11_all()
+
+
+def render(functional, modelled) -> str:
+    lines = []
+    t = Table(
+        ["variant", "sim time", "messages", "records"],
+        title=f"Figure 11 (functional): scale {FUNCTIONAL_SCALE}, "
+        f"{FUNCTIONAL_NODES} nodes, all validated",
+    )
+    for name, result in functional.items():
+        t.add_row(
+            [name, fmt_time(result.sim_seconds),
+             int(result.stats["messages"]), int(result.stats["records_sent"])]
+        )
+    lines.append(t.render())
+    t = Table(
+        ["nodes", *FIG11_VARIANTS],
+        title="Figure 11 (modelled): GTEPS at 16M vertices/node",
+    )
+    for i, n in enumerate(FIG11_NODE_COUNTS):
+        row = [n]
+        for v in FIG11_VARIANTS:
+            p = modelled[v][i]
+            row.append(f"CRASH:{p.crashed}" if p.crashed else f"{p.gteps:.0f}")
+        t.add_row(row)
+    lines.append(t.render())
+    return "\n\n".join(lines)
+
+
+def test_fig11_techniques(benchmark, save_report):
+    functional = benchmark.pedantic(run_functional, rounds=1, iterations=1)
+    modelled = run_model()
+    save_report("fig11_techniques", render(functional, modelled))
+
+    # Functional shape: relay reduces message count vs direct.
+    assert (
+        functional["relay-cpe"].stats["messages"]
+        < functional["direct-cpe"].stats["messages"]
+    )
+    # Modelled shapes (the figure's claims):
+    by = {v: {p.nodes: p for p in pts} for v, pts in modelled.items()}
+    # 1. ~10x CPE over MPE at matched routing.
+    for n in FIG11_NODE_COUNTS:
+        assert 5 < by["relay-cpe"][n].gteps / by["relay-mpe"][n].gteps < 20
+    # 2. Direct CPE best up to 256 nodes, crashes beyond.
+    assert by["direct-cpe"][256].gteps >= by["relay-cpe"][256].gteps
+    assert by["direct-cpe"][1024].crashed == "spm-overflow"
+    # 3. Direct MPE dies at 16,384 from MPI connection memory.
+    assert by["direct-mpe"][4096].ok
+    assert by["direct-mpe"][16384].crashed == "connection-memory"
+    # 4. Relay CPE is the only variant that reaches the whole machine and
+    #    is fastest there.
+    survivors = [v for v in FIG11_VARIANTS if by[v][40768].ok]
+    assert "relay-cpe" in survivors
+    assert by["relay-cpe"][40768].gteps == max(
+        by[v][40768].gteps for v in survivors
+    )
+
+
+def test_fig11_functional_and_model_agree_on_ordering():
+    """At small scale the functional simulator and model agree that CPE
+    variants are at least as fast as their MPE counterparts."""
+    functional = run_functional()
+    assert (
+        functional["relay-cpe"].sim_seconds
+        <= functional["relay-mpe"].sim_seconds * 1.001
+    )
+    assert (
+        functional["direct-cpe"].sim_seconds
+        <= functional["direct-mpe"].sim_seconds * 1.001
+    )

@@ -1,0 +1,99 @@
+"""Figure 12: weak scaling of the final system (Relay CPE).
+
+Functional grounding: a weak-scaling sweep on the simulator with fixed
+vertices per node. Analytic extension: the 80 -> 40,768-node series at
+the paper's three per-node sizes (1.6M / 6.5M / 26.2M vertices).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.perf import ScalingModel
+from repro.perf.scaling import (
+    FIG12_NODE_COUNTS,
+    FIG12_VERTICES_PER_NODE,
+    PAPER_HEADLINE_GTEPS,
+)
+from repro.utils.tables import Table
+from repro.utils.units import fmt_count
+
+#: Functional weak scaling: 2^11 vertices per node, growing node counts.
+FUNCTIONAL_VPN_SCALE = 11
+FUNCTIONAL_NODES = (2, 4, 8, 16)
+
+
+def run_functional():
+    cfg = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    rows = []
+    for nodes in FUNCTIONAL_NODES:
+        scale = FUNCTIONAL_VPN_SCALE + int(np.log2(nodes))
+        edges = KroneckerGenerator(scale=scale, seed=23).generate()
+        graph = CSRGraph.from_edges(edges)
+        root = int(np.flatnonzero(graph.degrees() > 0)[0])
+        bfs = DistributedBFS(edges, nodes, config=cfg, nodes_per_super_node=4)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        depth = result.depths()
+        traversed = edges.edges_within(depth >= 0)
+        rows.append((nodes, scale, traversed / result.sim_seconds / 1e9))
+    return rows
+
+
+def run_model():
+    model = ScalingModel()
+    return {vpn: model.fig12_series(vpn) for vpn in FIG12_VERTICES_PER_NODE}
+
+
+def render(functional, modelled) -> str:
+    lines = []
+    t = Table(
+        ["nodes", "scale", "simulated GTEPS"],
+        title=f"Figure 12 (functional): weak scaling at 2^{FUNCTIONAL_VPN_SCALE} "
+        "vertices/node",
+    )
+    for nodes, scale, gteps in functional:
+        t.add_row([nodes, scale, f"{gteps:.4f}"])
+    lines.append(t.render())
+    t = Table(
+        ["nodes", *(fmt_count(v) + " vpn" for v in FIG12_VERTICES_PER_NODE)],
+        title="Figure 12 (modelled): GTEPS, Relay CPE",
+    )
+    for i, n in enumerate(FIG12_NODE_COUNTS):
+        t.add_row(
+            [n, *(f"{modelled[v][i].gteps:,.0f}" for v in FIG12_VERTICES_PER_NODE)]
+        )
+    lines.append(t.render())
+    return "\n\n".join(lines)
+
+
+def test_fig12_weak_scaling(benchmark, save_report):
+    functional = benchmark.pedantic(run_functional, rounds=1, iterations=1)
+    modelled = run_model()
+    save_report("fig12_weak_scaling", render(functional, modelled))
+
+    # Functional: aggregate simulated GTEPS grows with node count.
+    gteps = [g for _, _, g in functional]
+    assert gteps[-1] > gteps[0]
+
+    # Modelled: near-linear scaling per line, monotone throughout.
+    for vpn in FIG12_VERTICES_PER_NODE:
+        series = [p.gteps for p in modelled[vpn]]
+        assert all(b > a for a, b in zip(series, series[1:]))
+        node_ratio = FIG12_NODE_COUNTS[-1] / FIG12_NODE_COUNTS[0]
+        assert series[-1] / series[0] > node_ratio / 4.5
+
+    # The size gaps at the full machine ("nearly four times").
+    full = {v: modelled[v][-1].gteps for v in FIG12_VERTICES_PER_NODE}
+    assert 2.0 < full[6.5e6] / full[1.6e6] < 5.0
+    assert 2.0 < full[26.2e6] / full[6.5e6] < 5.0
+
+
+def test_headline_point():
+    """The scale-40 full-machine projection behind the 23,755.7 GTEPS."""
+    model = ScalingModel()
+    h = model.headline()
+    assert h.ok
+    assert h.gteps == pytest.approx(PAPER_HEADLINE_GTEPS, rel=0.2)

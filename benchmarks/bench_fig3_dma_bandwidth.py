@@ -1,0 +1,47 @@
+"""Figure 3: DMA bandwidth of a CPE cluster vs chunk size (and the MPE).
+
+Paper: "A CPE cluster can get the desired bandwidth with a chunk size
+equal to or larger than 256 Bytes... the speed CPE clusters accessing the
+memory is 10 times faster than the MPE."
+"""
+
+import pytest
+
+from repro.machine import DmaModel
+from repro.utils.tables import Table
+from repro.utils.units import GBPS, fmt_rate
+
+CHUNKS = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def sweep():
+    dma = DmaModel()
+    return [
+        (c, dma.cluster_bandwidth(c), dma.mpe_bandwidth(c)) for c in CHUNKS
+    ]
+
+
+def render(rows) -> str:
+    t = Table(
+        ["chunk (B)", "CPE cluster", "MPE"],
+        title="Figure 3: DMA bandwidth vs chunk size",
+    )
+    for chunk, cluster, mpe in rows:
+        t.add_row([chunk, fmt_rate(cluster), fmt_rate(mpe)])
+    return t.render()
+
+
+def test_fig3_dma_bandwidth(benchmark, save_report):
+    rows = benchmark(sweep)
+    save_report("fig3_dma_bandwidth", render(rows))
+    by_chunk = {c: (cl, mp) for c, cl, mp in rows}
+    # Saturation at >= 256 B to the published 28.9 GB/s.
+    assert by_chunk[256][0] == pytest.approx(28.9 * GBPS)
+    assert by_chunk[4096][0] == pytest.approx(28.9 * GBPS)
+    # Monotone rise below saturation.
+    series = [cl for _, cl, _ in rows]
+    assert all(b >= a for a, b in zip(series, series[1:]))
+    # The MPE peaks at its published 9.4 GB/s.
+    assert by_chunk[256][1] == pytest.approx(9.4 * GBPS)
+    # Cluster vs MPE gap at saturation.
+    assert by_chunk[256][0] / by_chunk[256][1] == pytest.approx(28.9 / 9.4)

@@ -1,0 +1,41 @@
+"""Figure 5: memory bandwidth vs number of CPEs at 256 B chunks.
+
+Paper: "we find that 16 CPEs can generate an acceptable memory access
+bandwidth."
+"""
+
+import pytest
+
+from repro.machine import DmaModel
+from repro.utils.tables import Table
+from repro.utils.units import GBPS, fmt_rate
+
+COUNTS = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64)
+
+
+def sweep():
+    dma = DmaModel()
+    return [(n, dma.cluster_bandwidth(256, n)) for n in COUNTS]
+
+
+def render(rows) -> str:
+    t = Table(
+        ["CPEs", "bandwidth"],
+        title="Figure 5: cluster bandwidth vs participating CPEs (256 B chunks)",
+    )
+    for n, bw in rows:
+        t.add_row([n, fmt_rate(bw)])
+    return t.render()
+
+
+def test_fig5_cpe_count(benchmark, save_report):
+    rows = benchmark(sweep)
+    save_report("fig5_cpe_count", render(rows))
+    by_n = dict(rows)
+    # Rises with CPE count, saturates by 16.
+    series = [bw for _, bw in rows]
+    assert all(b >= a for a, b in zip(series, series[1:]))
+    assert by_n[16] == pytest.approx(by_n[64], rel=0.05)
+    assert by_n[1] < by_n[64] / 8
+    assert by_n[64] == pytest.approx(28.9 * GBPS)
+    assert DmaModel().saturating_cpe_count(256) <= 16

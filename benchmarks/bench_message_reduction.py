@@ -1,0 +1,63 @@
+"""Section 4.4 arithmetic: message/connection reduction from group batching.
+
+Paper: "every node will send (N x M) messages... applying our technique,
+the message number is only (N + M - 1)... the MPI library memory overhead
+is reduced from 4 GB to approximately 40 MB."
+"""
+
+from repro.core.batching import GroupLayout
+from repro.machine.specs import TAIHULIGHT
+from repro.utils.tables import Table
+from repro.utils.units import fmt_bytes
+
+CASES = (
+    (40_000, 200),   # the paper's worked example
+    (40_768, 256),   # the actual machine (groups = super nodes)
+    (1_024, 256),
+)
+
+
+def sweep():
+    rows = []
+    per_conn = TAIHULIGHT.node.mpi_connection_bytes
+    for nodes, width in CASES:
+        g = GroupLayout(nodes, width)
+        direct = g.direct_connections()
+        relay = max(g.relay_connections(i) for i in range(0, nodes, max(1, nodes // 64)))
+        rows.append(
+            (nodes, width, direct, relay, direct * per_conn, relay * per_conn)
+        )
+    return rows
+
+
+def render(rows) -> str:
+    t = Table(
+        ["nodes", "group M", "direct conns", "relay conns",
+         "direct MPI mem", "relay MPI mem"],
+        title="Group batching: connections and MPI memory per node",
+    )
+    for nodes, width, direct, relay, dmem, rmem in rows:
+        t.add_row([nodes, width, direct, relay, fmt_bytes(dmem), fmt_bytes(rmem)])
+    return t.render()
+
+
+def test_message_reduction(benchmark, save_report):
+    rows = benchmark(sweep)
+    save_report("message_reduction", render(rows))
+    by_nodes = {r[0]: r for r in rows}
+    nodes, width, direct, relay, dmem, rmem = by_nodes[40_000]
+    # The paper's numbers: 40,000 -> ~400 connections; 4 GB -> ~40 MB.
+    assert direct == 39_999
+    assert relay <= 200 + 200 - 1
+    assert dmem > 3.9e9
+    assert rmem < 41e6
+    # Reduction ratio ~ 100x.
+    assert direct / relay > 90
+
+
+def test_relay_connection_bound_is_universal():
+    g = GroupLayout(40_768, 256)
+    sample = list(range(0, 40_768, 997))
+    assert all(
+        g.relay_connections(n) <= g.num_groups + g.width - 1 for n in sample
+    )

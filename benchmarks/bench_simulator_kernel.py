@@ -1,0 +1,39 @@
+"""Wall-clock benchmark of the simulator itself.
+
+Unlike the figure benchmarks (which report *simulated* time), this one
+measures the library's real execution speed: how fast the functional
+simulator traverses a graph, and the raw generator/CSR substrate.
+pytest-benchmark's statistics apply meaningfully here.
+"""
+
+import numpy as np
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+
+SCALE = 11
+NODES = 8
+
+
+def test_kernel_wall_clock(benchmark):
+    edges = KroneckerGenerator(scale=SCALE, seed=47).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    cfg = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    bfs = DistributedBFS(edges, NODES, config=cfg, nodes_per_super_node=4)
+
+    result = benchmark(lambda: bfs.run(root))
+    assert result.levels >= 3
+    assert (result.parent >= 0).sum() > 0
+
+
+def test_generator_wall_clock(benchmark):
+    gen = KroneckerGenerator(scale=14, seed=47)
+    edges = benchmark(gen.generate)
+    assert edges.num_edges == 16 << 14
+
+
+def test_csr_construction_wall_clock(benchmark):
+    edges = KroneckerGenerator(scale=14, seed=47).generate()
+    graph = benchmark(lambda: CSRGraph.from_edges(edges))
+    assert graph.num_vertices == 1 << 14

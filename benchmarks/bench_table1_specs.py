@@ -1,0 +1,22 @@
+"""Table 1: Sunway TaihuLight specifications, regenerated from the model."""
+
+from repro.machine import TAIHULIGHT
+from repro.machine.specs import spec_table_rows
+from repro.utils.tables import Table
+
+
+def render_table1() -> str:
+    t = Table(["Item", "Specifications"], title="Table 1: Sunway TaihuLight")
+    for item, spec in spec_table_rows():
+        t.add_row([item, spec])
+    return t.render()
+
+
+def test_table1_specs(benchmark, save_report):
+    rendered = benchmark(render_table1)
+    save_report("table1_specs", rendered)
+    assert "64KB SPM" in rendered
+    assert "40 Cabinets" in rendered
+    # The composition arithmetic behind the table.
+    assert TAIHULIGHT.taihulight.total_nodes == 40_960
+    assert TAIHULIGHT.taihulight.total_cores == 10_649_600

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures as text,
+asserts its shape properties, and archives the rendered series under
+``benchmarks/results/`` so the reproduction artefacts survive the run
+(pytest captures stdout; the files don't lie).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Write a rendered table under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, content: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(content)
+        return path
+
+    return _save

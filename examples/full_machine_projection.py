@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Project the Graph500 submission: the paper's headline run.
+
+Uses the calibrated analytic model to price the scale-40 run on all
+40,768 nodes, prints the time breakdown, the Figure 12 weak-scaling
+series, and Table 2 with our reproduced number inserted.
+
+Run:  python examples/full_machine_projection.py
+"""
+
+from repro.perf import ScalingModel
+from repro.perf.scaling import FIG12_VERTICES_PER_NODE, PAPER_HEADLINE_GTEPS
+from repro.utils.tables import Table
+from repro.utils.units import fmt_count
+
+
+def main() -> None:
+    model = ScalingModel()
+
+    h = model.headline()
+    print("== Headline: scale-40 Kronecker on 40,768 nodes (10.6M cores) ==")
+    print(f"modelled:  {h.gteps:,.1f} GTEPS over {h.total_seconds:.3f} s per root")
+    print(f"published: {PAPER_HEADLINE_GTEPS:,.1f} GTEPS "
+          f"(we land at {100 * model.headline_vs_paper():.0f}%)")
+    t = Table(["term", "seconds", "share"])
+    for k, v in sorted(h.breakdown.items(), key=lambda kv: -kv[1]):
+        t.add_row([k, f"{v:.3f}", f"{100 * v / h.total_seconds:.0f}%"])
+    print(t.render())
+    print()
+
+    print("== Figure 12: weak scaling of the final system ==")
+    t = Table(["nodes", *(fmt_count(v) + " vpn" for v in FIG12_VERTICES_PER_NODE)])
+    series = {v: model.fig12_series(v) for v in FIG12_VERTICES_PER_NODE}
+    for i, n in enumerate(series[FIG12_VERTICES_PER_NODE[0]]):
+        t.add_row(
+            [n.nodes, *(f"{series[v][i].gteps:,.0f}" for v in FIG12_VERTICES_PER_NODE)]
+        )
+    print(t.render())
+    full = {v: series[v][-1].gteps for v in FIG12_VERTICES_PER_NODE}
+    print(
+        f"full-machine gaps: 6.5M/1.6M = {full[6.5e6] / full[1.6e6]:.1f}x, "
+        f"26.2M/6.5M = {full[26.2e6] / full[6.5e6]:.1f}x "
+        "(paper: 'nearly four times')\n"
+    )
+
+    print("== Table 2: distributed BFS results (published + ours) ==")
+    t = Table(["authors", "year", "scale", "GTEPS", "processors", "arch", "hetero"])
+    for row, measured in model.table2_rows():
+        gteps = f"{measured:,.1f} (ours)" if measured is not None else f"{row.gteps:,.1f}"
+        t.add_row(
+            [row.authors, row.year, row.scale, gteps, row.processors,
+             row.architecture, "yes" if row.heterogeneous else "no"]
+        )
+    print(t.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run the Graph500 benchmark on a simulated Sunway slice.
+
+Generates a Kronecker graph, runs the paper's BFS (relay routing +
+contention-free CPE shuffling + direction optimisation + hub prefetch) on
+eight simulated SW26010 nodes, validates every traversal against the
+Graph500 rules, and prints the benchmark report.
+
+Run:  python examples/quickstart.py [scale] [nodes]
+"""
+
+import sys
+
+from repro import Graph500Runner
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Graph500 on a simulated TaihuLight slice: scale {scale}, {nodes} nodes")
+    runner = Graph500Runner(
+        scale=scale,
+        nodes=nodes,
+        seed=42,
+        variant="relay-cpe",
+        # Small super nodes so the group relay actually crosses levels of
+        # the fat tree even in a small simulation.
+        nodes_per_super_node=max(2, nodes // 4),
+    )
+    report = runner.run(num_roots=8)
+
+    print()
+    print(report.summary())
+    print()
+    print(report.per_root_table())
+    print()
+    print(
+        "Every run above executed the real distributed algorithm over the "
+        "simulated machine;\ntimes are simulated seconds from the SW26010 "
+        "and fat-tree cost models."
+    )
+
+
+if __name__ == "__main__":
+    main()

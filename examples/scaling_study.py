@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Weak + strong scaling study, functional and modelled.
+
+Weak scaling (Figure 12's protocol) on the functional simulator with the
+benchmark suite, then the modelled strong-scaling extension — fixed total
+problem, growing machine — showing where fixed per-level costs eat the
+speed-up.
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.core import BFSConfig
+from repro.graph500.suite import BenchmarkSuite, SuiteCase
+from repro.perf import ScalingModel
+from repro.utils.tables import Table
+
+CFG = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+
+
+def functional_weak_scaling() -> None:
+    print("== Functional weak scaling: 2^9 vertices per node ==")
+    cases = [
+        SuiteCase(scale=9 + int(np.log2(n)), nodes=n) for n in (2, 4, 8, 16)
+    ]
+    suite = BenchmarkSuite(cases, num_roots=3, config=CFG, nodes_per_super_node=4)
+    suite.run()
+    print(suite.table())
+    print()
+
+
+def modelled_strong_scaling() -> None:
+    print("== Modelled strong scaling (extension): scale 36 fixed ==")
+    model = ScalingModel()
+    points = model.strong_scaling(scale=36)
+    t = Table(["nodes", "vertices/node", "GTEPS", "speedup", "efficiency"])
+    base = points[0]
+    for p in points:
+        speedup = p.gteps / base.gteps
+        ideal = p.nodes / base.nodes
+        t.add_row(
+            [p.nodes, f"{p.vertices_per_node:,.0f}", f"{p.gteps:,.0f}",
+             f"{speedup:.1f}x", f"{100 * speedup / ideal:.0f}%"]
+        )
+    print(t.render())
+    print(
+        "\nEfficiency falls as per-node data shrinks: the per-level "
+        "collectives and message overheads are fixed costs — the same "
+        "mechanism behind the small-size lines of Figure 12."
+    )
+
+
+def main() -> None:
+    functional_weak_scaling()
+    modelled_strong_scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 11 story: what each technique buys.
+
+Part 1 runs the four variants (Direct/Relay x MPE/CPE) *functionally* on a
+small simulated machine and reports simulated times, message counts and
+record counts — every run validated against the Graph500 rules.
+
+Part 2 extends the comparison to the full 40,768-node machine with the
+calibrated analytic model, reproducing the crossovers and both crash
+points of Figure 11.
+
+Run:  python examples/technique_comparison.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_variant
+from repro.core import BFSConfig
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.perf import ScalingModel
+from repro.utils.tables import Table
+from repro.utils.units import fmt_time
+
+VARIANTS = ("direct-mpe", "direct-cpe", "relay-mpe", "relay-cpe")
+
+
+def functional_comparison() -> None:
+    print("== Functional simulation: scale 14 Kronecker on 16 nodes ==")
+    edges = KroneckerGenerator(scale=14, seed=7).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    cfg = BFSConfig(hub_count_topdown=64, hub_count_bottomup=64)
+    table = Table(["variant", "sim time", "messages", "records", "levels", "valid"])
+    for name in VARIANTS:
+        bfs = make_variant(name, edges, 16, config=cfg, nodes_per_super_node=4)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        table.add_row(
+            [
+                name,
+                fmt_time(result.sim_seconds),
+                int(result.stats["messages"]),
+                int(result.stats["records_sent"]),
+                result.levels,
+                "yes",
+            ]
+        )
+    print(table.render())
+    print()
+
+
+def modelled_comparison() -> None:
+    print("== Analytic model: 16M vertices/node, up to the full machine ==")
+    model = ScalingModel()
+    node_counts = (64, 256, 1024, 4096, 16384, 40768)
+    table = Table(["nodes", *VARIANTS], title="GTEPS (CRASH = simulated failure)")
+    for i, n in enumerate(node_counts):
+        row = [n]
+        for v in VARIANTS:
+            p = model.fig11_series(v, node_counts)[i]
+            row.append(f"CRASH:{p.crashed}" if p.crashed else f"{p.gteps:.0f}")
+        table.add_row(row)
+    print(table.render())
+    print()
+    print("Paper's Figure 11 shapes reproduced:")
+    print(" - Direct CPE leads up to 256 nodes, then dies of SPM overflow;")
+    print(" - Direct MPE dies of MPI connection memory at 16,384 nodes;")
+    print(" - CPE shuffling beats MPE processing by roughly 10x;")
+    print(" - only Relay CPE scales to the whole machine.")
+
+
+def main() -> None:
+    functional_comparison()
+    modelled_comparison()
+
+
+if __name__ == "__main__":
+    main()

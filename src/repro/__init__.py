@@ -1,0 +1,80 @@
+"""repro — reproduction of *Scalable Graph Traversal on Sunway TaihuLight with
+Ten Million Cores* (Lin et al., IPDPS 2017).
+
+The package is organised as a stack of substrates with the paper's
+contribution on top:
+
+- :mod:`repro.sim` — a small deterministic discrete-event engine.
+- :mod:`repro.machine` — a model of the SW26010 heterogeneous CPU
+  (MPE / CPE clusters / 64 KB SPM / DMA / 8x8 register mesh).
+- :mod:`repro.network` — the TaihuLight two-level fat tree with 1:4
+  oversubscription and a rank-level message-passing runtime (SimMPI).
+- :mod:`repro.graph` — CSR graphs, the Graph500 Kronecker generator,
+  1D partitioning and bitmap frontiers.
+- :mod:`repro.graph500` — the benchmark harness (roots, validation, TEPS).
+- :mod:`repro.core` — the paper's BFS: pipelined module mapping,
+  contention-free data shuffling, and group-based message batching.
+- :mod:`repro.baselines` — the Direct/Relay x MPE/CPE variants of Figure 11.
+- :mod:`repro.perf` — the analytic cost model used to extend Figure 11 /
+  Figure 12 to the full 40,768-node machine.
+- :mod:`repro.algorithms` — SSSP / WCC / PageRank / k-core built on the same
+  shuffle-and-relay substrate (Section 8 of the paper).
+
+Quickstart::
+
+    from repro import Graph500Runner
+    report = Graph500Runner(scale=12, nodes=8).run(num_roots=4)
+    print(report.summary())
+
+Top-level names are imported lazily (PEP 562), so ``import repro`` stays
+cheap and subsystems only load when touched.
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ReproError,
+    SimulatedCrash,
+    SpmOverflow,
+    ConnectionMemoryExhausted,
+    DeadlockError,
+    ValidationError,
+)
+
+#: name -> (module, attribute) for lazily exposed public API.
+_LAZY = {
+    "CSRGraph": ("repro.graph.csr", "CSRGraph"),
+    "KroneckerGenerator": ("repro.graph.kronecker", "KroneckerGenerator"),
+    "Graph500Runner": ("repro.graph500.runner", "Graph500Runner"),
+    "BFSConfig": ("repro.core.config", "BFSConfig"),
+    "DistributedBFS": ("repro.core.bfs", "DistributedBFS"),
+    "make_variant": ("repro.baselines", "make_variant"),
+    "VARIANTS": ("repro.baselines", "VARIANTS"),
+    "ScalingModel": ("repro.perf.scaling", "ScalingModel"),
+}
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulatedCrash",
+    "SpmOverflow",
+    "ConnectionMemoryExhausted",
+    "DeadlockError",
+    "ValidationError",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,31 @@
+"""Other irregular graph algorithms on the BFS substrate (Section 8).
+
+The paper: "The key operations of the distributed BFS can be viewed as
+shuffling dynamically generated data, which is also the major operation of
+many other graph algorithms, such as Single Source Shortest Path (SSSP),
+Weakly Connected Component (WCC), PageRank, and K-core decomposition. All
+the three key techniques we used are readily applicable."
+
+This package makes that claim executable: a generic superstep engine
+(:mod:`repro.algorithms.base`) reuses the 1-D partitioning, the pipelined
+module mapping, the contention-free shuffle pricing and the group relay
+routing — and the four algorithms the paper names run on top of it.
+"""
+
+from repro.algorithms.base import SuperstepEngine, SuperstepResult
+from repro.algorithms.sssp import DistributedSSSP, edge_weight
+from repro.algorithms.delta_stepping import DistributedDeltaStepping
+from repro.algorithms.wcc import DistributedWCC
+from repro.algorithms.pagerank import DistributedPageRank
+from repro.algorithms.kcore import DistributedKCore
+
+__all__ = [
+    "SuperstepEngine",
+    "SuperstepResult",
+    "DistributedSSSP",
+    "DistributedDeltaStepping",
+    "edge_weight",
+    "DistributedWCC",
+    "DistributedPageRank",
+    "DistributedKCore",
+]

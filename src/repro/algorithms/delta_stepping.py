@@ -1,0 +1,140 @@
+"""Delta-stepping SSSP on the superstep engine.
+
+The production-grade SSSP the Section 8 claim points at: Meyer & Sanders'
+bucketed relaxation. Distances are processed in buckets of width ``delta``;
+within a bucket, *light* edges (w <= delta) relax iteratively until the
+bucket empties, then *heavy* edges (w > delta) relax once. Compared with
+the plain Bellman-Ford in :mod:`repro.algorithms.sssp`, it bounds wasted
+relaxations on weighted power-law graphs while using the exact same
+shuffle-and-relay substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import SuperstepEngine, SuperstepResult
+from repro.algorithms.sssp import edge_weight
+from repro.errors import ConfigError
+
+
+@dataclass
+class DeltaSteppingResult(SuperstepResult):
+    dist: np.ndarray = None  # type: ignore[assignment]
+    buckets_processed: int = 0
+
+
+class DistributedDeltaStepping:
+    def __init__(self, edges, nodes, delta: float = 2.0, max_weight: int = 8,
+                 **engine_kwargs):
+        if delta <= 0:
+            raise ConfigError(f"delta must be positive, got {delta}")
+        if max_weight < 1:
+            raise ConfigError(f"max_weight must be >= 1, got {max_weight}")
+        self.engine = SuperstepEngine(edges, nodes, **engine_kwargs)
+        self.delta = float(delta)
+        self.max_weight = max_weight
+        # Pre-split each partition's adjacency into light and heavy edges.
+        self._light: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._heavy: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for part in self.engine.parts:
+            srcs_local, targets = part.graph.expand(
+                np.arange(part.n_local, dtype=np.int64)
+            )
+            w = edge_weight(srcs_local + part.lo, targets, max_weight)
+            light = w <= self.delta
+            self._light.append((srcs_local[light], targets[light], w[light]))
+            self._heavy.append((srcs_local[~light], targets[~light], w[~light]))
+
+    @staticmethod
+    def _relax_edges(part, edges_split, mask_local):
+        """Outgoing (target, candidate distance) records for active sources."""
+        srcs, tgts, w = edges_split
+        keep = mask_local[srcs]
+        return srcs[keep], tgts[keep], w[keep]
+
+    def _combine_min(self, inboxes, dist, touched):
+        for part, d, t, (v, x) in zip(self.engine.parts, dist, touched, inboxes):
+            if len(v) == 0:
+                continue
+            v_local = v - part.lo
+            order = np.lexsort((x, v_local))
+            v_s, x_s = v_local[order], x[order]
+            first = np.concatenate(([True], v_s[1:] != v_s[:-1]))
+            v_min, x_min = v_s[first], x_s[first]
+            better = x_min < d[v_min]
+            d[v_min[better]] = x_min[better]
+            t[v_min[better]] = True
+
+    def run(self, root: int, max_rounds: int = 100_000) -> DeltaSteppingResult:
+        eng = self.engine
+        n = eng.graph.num_vertices
+        if not 0 <= root < n:
+            raise ConfigError(f"root {root} out of range")
+        dist = [np.full(p.n_local, np.inf) for p in eng.parts]
+        owner = int(eng.owner[root])
+        dist[owner][root - eng.parts[owner].lo] = 0.0
+
+        t_start = eng.sim_seconds
+        rounds = 0
+        buckets = 0
+        bucket = 0
+        max_bucket = int(np.ceil(n * self.max_weight / self.delta)) + 1
+        while bucket <= max_bucket:
+            lo, hi = bucket * self.delta, (bucket + 1) * self.delta
+            in_bucket = [
+                (d >= lo) & (d < hi) & np.isfinite(d) for d in dist
+            ]
+            if not any(m.any() for m in in_bucket):
+                # Jump to the next non-empty bucket (or finish).
+                finite_min = [
+                    d[(d >= hi) & np.isfinite(d)].min()
+                    for d in dist
+                    if ((d >= hi) & np.isfinite(d)).any()
+                ]
+                if not finite_min:
+                    break
+                bucket = int(min(finite_min) // self.delta)
+                continue
+            buckets += 1
+            settled = [m.copy() for m in in_bucket]
+            # Light-edge phase: iterate until the bucket stops growing.
+            active = in_bucket
+            while any(m.any() for m in active):
+                rounds += 1
+                if rounds > max_rounds:
+                    raise ConfigError("delta-stepping did not converge")
+                outgoing = []
+                for part, d, m, light in zip(
+                    eng.parts, dist, active, self._light
+                ):
+                    srcs, tgts, w = self._relax_edges(part, light, m)
+                    outgoing.append((tgts, d[srcs] + w))
+                touched = [np.zeros(p.n_local, dtype=bool) for p in eng.parts]
+                self._combine_min(eng.superstep(outgoing), dist, touched)
+                active = []
+                for d, t, s in zip(dist, touched, settled):
+                    # Re-activate anything whose distance changed into (or
+                    # within) the bucket — improved vertices must re-relax.
+                    now_in = t & (d >= lo) & (d < hi)
+                    s |= now_in
+                    active.append(now_in)
+            # Heavy-edge phase: one relaxation from everything settled here.
+            rounds += 1
+            outgoing = []
+            for part, d, s, heavy in zip(eng.parts, dist, settled, self._heavy):
+                srcs, tgts, w = self._relax_edges(part, heavy, s)
+                outgoing.append((tgts, d[srcs] + w))
+            touched = [np.zeros(p.n_local, dtype=bool) for p in eng.parts]
+            self._combine_min(eng.superstep(outgoing), dist, touched)
+            bucket += 1
+
+        return DeltaSteppingResult(
+            sim_seconds=eng.sim_seconds - t_start,
+            supersteps=rounds,
+            stats={"records_sent": float(eng.records_sent)},
+            dist=np.concatenate(dist),
+            buckets_processed=buckets,
+        )

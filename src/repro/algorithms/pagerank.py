@@ -1,0 +1,70 @@
+"""PageRank with synchronous power iterations on the superstep engine.
+
+Standard damped formulation over the symmetrised graph: each iteration,
+every vertex scatters ``rank / degree`` to its neighbours; dangling mass
+(degree-0 vertices) redistributes uniformly. Runs a fixed iteration count
+or until the L1 delta falls under a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import SuperstepEngine, SuperstepResult
+from repro.errors import ConfigError
+
+
+@dataclass
+class PageRankResult(SuperstepResult):
+    ranks: np.ndarray = None  # type: ignore[assignment]
+
+
+class DistributedPageRank:
+    def __init__(self, edges, nodes, damping: float = 0.85, **engine_kwargs):
+        if not 0.0 < damping < 1.0:
+            raise ConfigError(f"damping must be in (0, 1), got {damping}")
+        self.engine = SuperstepEngine(edges, nodes, **engine_kwargs)
+        self.damping = damping
+
+    def run(self, iterations: int = 20, tol: float = 0.0) -> PageRankResult:
+        if iterations < 1:
+            raise ConfigError(f"need at least one iteration, got {iterations}")
+        eng = self.engine
+        n = eng.graph.num_vertices
+        ranks = [np.full(p.n_local, 1.0 / n) for p in eng.parts]
+        degrees = [p.graph.degrees().astype(np.float64) for p in eng.parts]
+        all_local = [np.arange(p.n_local, dtype=np.int64) for p in eng.parts]
+        t_start = eng.sim_seconds
+        done = 0
+        for _ in range(iterations):
+            done += 1
+            outgoing = []
+            dangling = 0.0
+            for part, r, deg, idx in zip(eng.parts, ranks, degrees, all_local):
+                has_edges = deg > 0
+                dangling += float(r[~has_edges].sum())
+                active = idx[has_edges]
+                srcs_local, targets = part.graph.expand(active)
+                outgoing.append((targets, (r / np.maximum(deg, 1.0))[srcs_local]))
+            inboxes = eng.superstep(outgoing)
+            base = (1.0 - self.damping) / n + self.damping * dangling / n
+            delta = 0.0
+            for part, r, (v, x) in zip(eng.parts, ranks, inboxes):
+                new = np.full(part.n_local, base)
+                if len(v):
+                    v_local = v - part.lo
+                    new += self.damping * np.bincount(
+                        v_local, weights=x, minlength=part.n_local
+                    )
+                delta += float(np.abs(new - r).sum())
+                r[:] = new
+            if tol > 0 and delta < tol:
+                break
+        return PageRankResult(
+            sim_seconds=eng.sim_seconds - t_start,
+            supersteps=done,
+            stats={"records_sent": float(eng.records_sent)},
+            ranks=np.concatenate(ranks),
+        )

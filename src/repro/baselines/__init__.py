@@ -1,0 +1,22 @@
+"""The four implementations Figure 11 compares.
+
+Every variant is the same :class:`~repro.core.bfs.DistributedBFS` with two
+switches flipped:
+
+- **relay-cpe** — the paper's final system: contention-free CPE shuffling
+  plus group-based relay batching;
+- **relay-mpe** — relay routing, but modules processed on the MPEs;
+- **direct-cpe** — CPE shuffling, but every message straight to its
+  destination (dies of SPM overflow once per-destination staging no longer
+  fits 64 KB);
+- **direct-mpe** — the naive port: MPE processing and direct messaging
+  (dies of MPI connection memory at large node counts).
+
+``plain-topdown`` additionally disables direction optimisation and hub
+prefetch — the textbook 1-D BFS used by ablations.
+"""
+
+from repro.baselines.variants import VARIANTS, make_variant, variant_config
+from repro.baselines.twod import TwoDBFS
+
+__all__ = ["VARIANTS", "make_variant", "variant_config", "TwoDBFS"]

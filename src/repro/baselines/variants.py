@@ -1,0 +1,54 @@
+"""Variant registry: Figure 11 tags -> BFS configurations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.bfs import DistributedBFS
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+
+#: tag -> config overrides relative to BFSConfig defaults.
+VARIANTS: dict[str, dict] = {
+    "relay-cpe": dict(use_relay=True, use_cpe_clusters=True),
+    "relay-mpe": dict(use_relay=True, use_cpe_clusters=False),
+    "direct-cpe": dict(use_relay=False, use_cpe_clusters=True),
+    "direct-mpe": dict(use_relay=False, use_cpe_clusters=False),
+    "plain-topdown": dict(
+        use_relay=False,
+        use_cpe_clusters=False,
+        direction_optimizing=False,
+        use_hub_prefetch=False,
+    ),
+}
+
+
+def variant_config(name: str, base: BFSConfig | None = None) -> BFSConfig:
+    """The configuration for a named variant (overrides applied to ``base``)."""
+    try:
+        overrides = VARIANTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None
+    return replace(base or BFSConfig(), **overrides)
+
+
+def make_variant(
+    name: str,
+    edges: EdgeList,
+    nodes: int,
+    config: BFSConfig | None = None,
+    spec: MachineSpec = TAIHULIGHT,
+    nodes_per_super_node: int | None = None,
+) -> DistributedBFS:
+    """Instantiate a named variant over ``edges`` on ``nodes`` simulated nodes."""
+    return DistributedBFS(
+        edges,
+        nodes,
+        config=variant_config(name, config),
+        spec=spec,
+        nodes_per_super_node=nodes_per_super_node,
+    )

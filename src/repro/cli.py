@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``graph500`` — run the benchmark on the functional simulator;
+- ``fig11`` / ``fig12`` / ``table2`` — regenerate the evaluation series
+  from the calibrated model;
+- ``specs`` — print Table 1;
+- ``generate`` — write a Kronecker edge list to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.tables import Table
+
+
+def _cmd_graph500(args: argparse.Namespace) -> int:
+    from repro.graph500.runner import Graph500Runner
+
+    runner = Graph500Runner(
+        scale=args.scale,
+        nodes=args.nodes,
+        seed=args.seed,
+        variant=args.variant,
+        nodes_per_super_node=args.super_node,
+    )
+    report = runner.run(num_roots=args.roots)
+    print(report.summary())
+    if args.per_root:
+        print()
+        print(report.per_root_table())
+    return 0 if report.all_validated else 1
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    from repro.perf.scaling import FIG11_NODE_COUNTS, FIG11_VARIANTS, ScalingModel
+
+    model = ScalingModel()
+    series = model.fig11_all()
+    t = Table(["nodes", *FIG11_VARIANTS], title="Figure 11: GTEPS at 16M vertices/node")
+    for i, n in enumerate(FIG11_NODE_COUNTS):
+        row = [n]
+        for v in FIG11_VARIANTS:
+            p = series[v][i]
+            row.append(f"CRASH:{p.crashed}" if p.crashed else f"{p.gteps:,.0f}")
+        t.add_row(row)
+    print(t.render())
+    return 0
+
+
+def _cmd_fig12(args: argparse.Namespace) -> int:
+    from repro.perf.scaling import (
+        FIG12_NODE_COUNTS,
+        FIG12_VERTICES_PER_NODE,
+        ScalingModel,
+    )
+    from repro.utils.units import fmt_count
+
+    model = ScalingModel()
+    t = Table(
+        ["nodes", *(fmt_count(v) + " vpn" for v in FIG12_VERTICES_PER_NODE)],
+        title="Figure 12: weak scaling (Relay CPE), GTEPS",
+    )
+    series = {v: model.fig12_series(v) for v in FIG12_VERTICES_PER_NODE}
+    for i, n in enumerate(FIG12_NODE_COUNTS):
+        t.add_row([n, *(f"{series[v][i].gteps:,.0f}" for v in FIG12_VERTICES_PER_NODE)])
+    print(t.render())
+    h = model.headline()
+    print(f"\nheadline (scale 40, 40,768 nodes): {h.gteps:,.1f} GTEPS "
+          f"(paper: 23,755.7)")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.perf.scaling import ScalingModel
+
+    t = Table(["Authors", "Year", "Scale", "GTEPS", "Architecture"],
+              title="Table 2 (GTEPS: ours in the Present Work row)")
+    for row, measured in ScalingModel().table2_rows():
+        shown = f"{measured:,.1f}" if measured is not None else f"{row.gteps:,.1f}"
+        t.add_row([row.authors, row.year, row.scale, shown, row.architecture])
+    print(t.render())
+    return 0
+
+
+def _cmd_strong(args: argparse.Namespace) -> int:
+    from repro.perf.scaling import ScalingModel
+
+    model = ScalingModel()
+    points = model.strong_scaling(scale=args.scale, variant=args.variant)
+    t = Table(
+        ["nodes", "vertices/node", "GTEPS", "per-root seconds"],
+        title=f"Strong scaling (extension): fixed scale {args.scale}, {args.variant}",
+    )
+    for p in points:
+        t.add_row(
+            [p.nodes, f"{p.vertices_per_node:,.0f}", f"{p.gteps:,.0f}",
+             f"{p.total_seconds:.4f}"]
+        )
+    print(t.render())
+    return 0
+
+
+def _cmd_fullbench(args: argparse.Namespace) -> int:
+    from repro.perf.scaling import HEADLINE_VERTICES_PER_NODE, ScalingModel
+
+    model = ScalingModel()
+    times = model.full_benchmark_time(
+        nodes=args.nodes,
+        vertices_per_node=HEADLINE_VERTICES_PER_NODE * 40_768 / args.nodes,
+        num_roots=args.roots,
+    )
+    t = Table(["step", "seconds"], title="Whole-benchmark time estimate")
+    for step in ("generate", "construct", "kernel", "validate", "total"):
+        t.add_row([step, f"{times[step]:.1f}"])
+    print(t.render())
+    return 0
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    from repro.machine.specs import spec_table_rows
+
+    t = Table(["Item", "Specifications"], title="Table 1: Sunway TaihuLight")
+    for item, spec in spec_table_rows():
+        t.add_row([item, spec])
+    print(t.render())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run every modelled renderer, teeing each into ``--out``."""
+    import contextlib
+    import io
+    import pathlib
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jobs = {
+        "table1_specs": (_cmd_specs, argparse.Namespace()),
+        "fig11": (_cmd_fig11, argparse.Namespace()),
+        "fig12": (_cmd_fig12, argparse.Namespace()),
+        "table2": (_cmd_table2, argparse.Namespace()),
+        "strong_scaling": (_cmd_strong, argparse.Namespace(scale=36, variant="relay-cpe")),
+        "full_benchmark": (_cmd_fullbench, argparse.Namespace(nodes=40_768, roots=64)),
+    }
+    for name, (fn, ns) in jobs.items():
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            fn(ns)
+        path = out_dir / f"{name}.txt"
+        path.write_text(buffer.getvalue())
+        print(f"wrote {path}")
+    print(
+        "note: functional benchmarks (micro-benches, ablations) live in "
+        "`pytest benchmarks/ --benchmark-only`, archived under "
+        "benchmarks/results/"
+    )
+    return 0
+
+
+def _cmd_sssp(args: argparse.Namespace) -> int:
+    from repro.graph500.sssp import SSSPRunner
+
+    report = SSSPRunner(
+        scale=args.scale,
+        nodes=args.nodes,
+        algorithm=args.algorithm,
+        nodes_per_super_node=args.super_node,
+    ).run(num_roots=args.roots)
+    print(report.summary())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.io import save_edgelist
+    from repro.graph.kronecker import KroneckerGenerator
+    from repro.graph.stats import degree_stats
+
+    gen = KroneckerGenerator(scale=args.scale, seed=args.seed)
+    edges = gen.generate()
+    path = save_edgelist(args.output, edges)
+    stats = degree_stats(edges)
+    print(f"wrote {path}: {gen.describe()}")
+    print(f"max degree {stats.max_degree}, top-1% share "
+          f"{100 * stats.top1pct_share:.1f}%, gini {stats.gini:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sunway TaihuLight Graph500 BFS reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("graph500", help="run the benchmark on the simulator")
+    p.add_argument("--scale", type=int, default=12)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--roots", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--variant", default="relay-cpe")
+    p.add_argument("--super-node", type=int, default=None)
+    p.add_argument("--per-root", action="store_true")
+    p.set_defaults(func=_cmd_graph500)
+
+    sub.add_parser("fig11", help="modelled Figure 11 sweep").set_defaults(
+        func=_cmd_fig11
+    )
+    sub.add_parser("fig12", help="modelled Figure 12 weak scaling").set_defaults(
+        func=_cmd_fig12
+    )
+    sub.add_parser("table2", help="Table 2 comparison").set_defaults(func=_cmd_table2)
+    sub.add_parser("specs", help="print Table 1").set_defaults(func=_cmd_specs)
+
+    p = sub.add_parser("strong", help="modelled strong scaling (extension)")
+    p.add_argument("--scale", type=int, default=36)
+    p.add_argument("--variant", default="relay-cpe")
+    p.set_defaults(func=_cmd_strong)
+
+    p = sub.add_parser("fullbench", help="whole-benchmark time estimate")
+    p.add_argument("--nodes", type=int, default=40_768)
+    p.add_argument("--roots", type=int, default=64)
+    p.set_defaults(func=_cmd_fullbench)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate all modelled tables/figures into a directory"
+    )
+    p.add_argument("--out", default="reproduction")
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("sssp", help="Graph500-style SSSP kernel (extension)")
+    p.add_argument("--scale", type=int, default=10)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--roots", type=int, default=4)
+    p.add_argument("--algorithm", default="delta-stepping",
+                   choices=["delta-stepping", "bellman-ford"])
+    p.add_argument("--super-node", type=int, default=None)
+    p.set_defaults(func=_cmd_sssp)
+
+    p = sub.add_parser("generate", help="write a Kronecker edge list (.npz)")
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

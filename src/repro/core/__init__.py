@@ -1,0 +1,39 @@
+"""The paper's contribution: asynchronous direction-optimising distributed
+BFS mapped onto the simulated Sunway machine.
+
+Technique map (Section 4):
+
+- **pipelined module mapping** — :mod:`repro.core.pipeline` assigns the six
+  BFS modules (Figure 1/10) to dedicated CPE clusters, with MPEs reserved
+  for send/recv and a small-message quick path to the MPE;
+- **contention-free data shuffling** — :mod:`repro.core.shuffle` assigns
+  producer/router/consumer roles on the 8x8 register mesh, validates the
+  route set deadlock-free and the SPM staging layout feasible, and prices
+  each reaction module's shuffle;
+- **group-based message batching** — :mod:`repro.core.batching` arranges
+  nodes into the N x M matrix, computes relay nodes, and cuts per-node
+  connections from N*M to N+M-2.
+
+The driver (:class:`repro.core.bfs.DistributedBFS`) runs the real algorithm
+on real graphs over SimMPI: parent maps are exact and Graph500-validated;
+simulated nanoseconds come from the machine and network models.
+"""
+
+from repro.core.config import BFSConfig, RoleLayout
+from repro.core.policy import TraversalPolicy, Direction
+from repro.core.batching import GroupLayout
+from repro.core.shuffle import ShufflePlan
+from repro.core.hubs import HubDirectory
+from repro.core.bfs import DistributedBFS, BFSResult
+
+__all__ = [
+    "BFSConfig",
+    "RoleLayout",
+    "TraversalPolicy",
+    "Direction",
+    "GroupLayout",
+    "ShufflePlan",
+    "HubDirectory",
+    "DistributedBFS",
+    "BFSResult",
+]

@@ -1,0 +1,67 @@
+"""Post-run analysis of BFS executions: bottlenecks and load balance.
+
+The paper's characterisation section says imbalanced vertex degrees "cause
+significant load balance [problems]" and Section 5 balances the
+partitioning by edges. These helpers quantify both on a finished run:
+
+- :func:`load_imbalance` — max/mean busy time across nodes, per unit kind;
+- :func:`bottleneck_report` — which unit class carried each run's makespan;
+- :func:`per_node_work` — busy seconds per node (the skew the balanced
+  partition is supposed to flatten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bfs import DistributedBFS
+from repro.errors import ConfigError
+
+
+def per_node_work(bfs: DistributedBFS, kinds: tuple[str, ...] = ("C", "M")) -> np.ndarray:
+    """Total busy seconds per node over units whose kind starts with any
+    prefix in ``kinds`` (``C`` = clusters, ``M`` = MPEs)."""
+    out = np.zeros(bfs.num_nodes)
+    for state in bfs.states:
+        busy = state.pipeline.busy_times()
+        for name, seconds in busy.items():
+            unit = name.split(".")[-1]
+            if unit.startswith(kinds):
+                out[state.node_id] += seconds
+    return out
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    max_work: float
+    mean_work: float
+    min_work: float
+
+    @property
+    def factor(self) -> float:
+        """max/mean — 1.0 is perfect balance."""
+        return self.max_work / self.mean_work if self.mean_work else 1.0
+
+
+def load_imbalance(bfs: DistributedBFS, kinds=("C", "M")) -> ImbalanceReport:
+    work = per_node_work(bfs, kinds)
+    if not work.any():
+        raise ConfigError("no work recorded — run a traversal first")
+    return ImbalanceReport(
+        max_work=float(work.max()),
+        mean_work=float(work.mean()),
+        min_work=float(work.min()),
+    )
+
+
+def bottleneck_report(bfs: DistributedBFS) -> dict[str, float]:
+    """Busy seconds aggregated by unit kind across all nodes, descending —
+    the first entry is where the machine spent its time."""
+    sums: dict[str, float] = {}
+    for state in bfs.states:
+        for name, seconds in state.pipeline.busy_times().items():
+            kind = name.split(".")[-1]
+            sums[kind] = sums.get(kind, 0.0) + seconds
+    return dict(sorted(sums.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,685 @@
+"""The distributed BFS driver (Algorithms 1 and 2 on the simulated machine).
+
+One :class:`DistributedBFS` instance binds a graph to a simulated machine:
+it partitions the graph 1-D across nodes, wires a SimMPI cluster, builds
+the per-node pipelines and hub directory, validates the shuffle plan
+(SPM feasibility + deadlock-freedom) and the connection budget — then
+``run(root)`` executes real level-synchronised message-driven traversals.
+
+Timing model recap: module executions and per-message MPE overheads are
+FIFO jobs on the node's servers; messages fly over the fat-tree link model;
+per-level control collectives (direction allreduce + hub-bitmap allgather)
+are priced analytically and added to the level barrier. The per-root
+simulated duration is the span from the first level's start to the last
+bookkeeping finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import GroupLayout
+from repro.core.config import BFSConfig
+from repro.core.hubs import HubDirectory
+from repro.core.pipeline import NodePipeline
+from repro.core.policy import Direction, TraversalPolicy
+from repro.core.runtime import NodeState
+from repro.core.shuffle import ShufflePlan
+from repro.errors import ConfigError, ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import Partition1D
+from repro.graph500.reference import depths_from_parents
+from repro.machine.node import SunwayNode
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+from repro.network.simmpi import Message, SimCluster
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """What one BFS level did and cost."""
+
+    level: int
+    direction: str
+    frontier_vertices: int
+    frontier_edges: int
+    records_sent: int
+    messages: int
+    hub_settled: int
+    subrounds: int
+    start: float
+    finish: float
+
+    @property
+    def seconds(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class BFSResult:
+    """Output of one rooted traversal."""
+
+    root: int
+    parent: np.ndarray
+    levels: int
+    sim_seconds: float
+    traces: list[LevelTrace] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def depths(self) -> np.ndarray:
+        return depths_from_parents(self.parent, self.root)
+
+    def directions(self) -> list[str]:
+        return [t.direction for t in self.traces]
+
+    def to_json(self) -> str:
+        """Serialise the run's traces and stats (not the parent array) for
+        offline analysis — one record per level plus the run summary."""
+        import json
+
+        return json.dumps(
+            {
+                "root": self.root,
+                "levels": self.levels,
+                "sim_seconds": self.sim_seconds,
+                "reached": int((self.parent >= 0).sum()),
+                "stats": {k: float(v) for k, v in self.stats.items()},
+                "traces": [
+                    {
+                        "level": int(t.level),
+                        "direction": t.direction,
+                        "frontier_vertices": int(t.frontier_vertices),
+                        "frontier_edges": int(t.frontier_edges),
+                        "records_sent": int(t.records_sent),
+                        "messages": int(t.messages),
+                        "hub_settled": int(t.hub_settled),
+                        "subrounds": int(t.subrounds),
+                        "seconds": float(t.seconds),
+                    }
+                    for t in self.traces
+                ],
+            }
+        )
+
+
+class DistributedBFS:
+    """A reusable BFS kernel over a fixed graph and simulated machine."""
+
+    def __init__(
+        self,
+        edges: EdgeList,
+        nodes: int,
+        config: BFSConfig | None = None,
+        spec: MachineSpec = TAIHULIGHT,
+        nodes_per_super_node: int | None = None,
+    ):
+        self.config = config or BFSConfig()
+        self.spec = spec
+        if nodes < 1:
+            raise ConfigError(f"need at least one node, got {nodes}")
+        if self.config.partition_mode == "cyclic":
+            raise ConfigError(
+                "the distributed runtime needs contiguous partitions "
+                "(block or balanced)"
+            )
+        self.num_nodes = nodes
+        self.edges = edges
+        self.graph = CSRGraph.from_edges(edges)
+        n = self.graph.num_vertices
+        if nodes > n:
+            raise ConfigError(f"{nodes} nodes for only {n} vertices")
+
+        # --- layout: partition, owners, groups --------------------------------
+        weights = (
+            self.graph.degrees()
+            if self.config.partition_mode == "balanced"
+            else None
+        )
+        self.partition = Partition1D(
+            n, nodes, mode=self.config.partition_mode, edge_weights=weights
+        )
+        self.owner = self.partition.owner(np.arange(n, dtype=np.int64))
+        nps = (
+            nodes_per_super_node
+            if nodes_per_super_node is not None
+            else spec.taihulight.nodes_per_super_node
+        )
+        width = self.config.group_width or nps
+        self.groups = GroupLayout(nodes, min(width, nodes))
+
+        # --- machine: engine, network, nodes ------------------------------------
+        self.engine = Engine()
+        self.cluster = SimCluster(
+            self.engine,
+            nodes,
+            spec=spec,
+            nodes_per_super_node=nps,
+            track_connections=self.config.track_connections,
+        )
+        self.machines = [SunwayNode(i, spec) for i in range(nodes)]
+        self.states: list[NodeState] = []
+        for i in range(nodes):
+            lo, hi = self.partition.part_range(i)
+            state = NodeState(
+                i, lo, hi, self.graph.row_slice(lo, hi),
+                NodePipeline(self.machines[i], self.config),
+            )
+            self.states.append(state)
+            self.cluster.register(i, self._make_handler(state))
+
+        # --- feasibility: SPM staging + connection budget ------------------------
+        if self.config.use_cpe_clusters:
+            dests = (
+                max(self.groups.num_groups, self.groups.width)
+                if self.config.use_relay
+                else nodes
+            )
+            self.shuffle_plan = ShufflePlan.from_config(self.config, max(1, dests))
+        else:
+            self.shuffle_plan = None
+        if self.config.track_connections:
+            for i in range(nodes):
+                required = (
+                    self.groups.relay_connections(i)
+                    if self.config.use_relay
+                    else self.groups.direct_connections()
+                )
+                self.cluster.connections[i].require(required)
+
+        # --- hubs ------------------------------------------------------------------
+        self.policy = TraversalPolicy(
+            self.config.alpha, self.config.beta, self.config.direction_optimizing
+        )
+        self.hubs: HubDirectory | None = None
+        if self.config.use_hub_prefetch:
+            per_node = n / nodes
+            cap = max(1, int(per_node * self.config.hub_fraction_cap))
+            hubs_per_node = min(
+                max(self.config.hub_count_topdown, self.config.hub_count_bottomup),
+                cap,
+            )
+            self.hubs = HubDirectory(self.graph, self.partition, hubs_per_node)
+            self._build_hub_adjacency()
+
+        # --- construction-time estimate (not part of TEPS) ----------------------
+        self.construction_seconds = self._estimate_construction_time()
+
+        # run-scoped scratch
+        self._t_max = 0.0
+        self._records_sent = 0
+        self._hub_settled = 0
+
+    # ------------------------------------------------------------------ setup --
+    def _build_hub_adjacency(self) -> None:
+        """Per node: CSR from hub slot -> local indices of its neighbours."""
+        assert self.hubs is not None
+        for state in self.states:
+            # Local rows' targets that are hubs give (hub slot, local vertex).
+            v_local_all, u_global = state.graph.expand(
+                np.arange(state.n_local, dtype=np.int64)
+            )
+            slots = self.hubs.slot_of[u_global]
+            keep = slots >= 0
+            slots, v_local = slots[keep], v_local_all[keep]
+            order = np.argsort(slots, kind="stable")
+            slots, v_local = slots[order], v_local[order]
+            counts = np.bincount(slots, minlength=self.hubs.num_hubs)
+            row_ptr = np.zeros(self.hubs.num_hubs + 1, dtype=np.int64)
+            np.cumsum(counts, out=row_ptr[1:])
+            state.hub_adjacency = CSRGraph(row_ptr, v_local, self.hubs.num_hubs)
+
+    def _estimate_construction_time(self) -> float:
+        """Documented rough model of benchmark step 3 (not in the TEPS clock):
+        ship each node its edge partition, then two local DMA passes to sort
+        and pack the CSR."""
+        t = self.spec.taihulight
+        per_node_bytes = 2 * self.edges.num_edges / self.num_nodes * 16
+        ship = per_node_bytes / t.nic_effective_bandwidth
+        build = 2 * per_node_bytes / self.spec.core_group.cluster_dma_bandwidth
+        return ship + build
+
+    # ------------------------------------------------------------- time marks --
+    def _mark(self, t: float) -> None:
+        if t > self._t_max:
+            self._t_max = t
+
+    # ----------------------------------------------------------- diagnostics --
+    def utilization(self) -> dict[str, float]:
+        """Busy-time fraction per execution unit since construction.
+
+        Keys are server names (``node3.C0``, ``node0.M1``, ...); values are
+        busy seconds divided by total simulated time. The paper's design
+        goal shows up here: in CPE mode the communication MPEs (M0/M1) and
+        the module clusters carry the load; in MPE mode the aux MPEs do.
+        """
+        horizon = max(self._t_max, 1e-12)
+        out: dict[str, float] = {}
+        for state in self.states:
+            for name, busy in state.pipeline.busy_times().items():
+                out[name] = busy / horizon
+        return out
+
+    def _all_servers(self):
+        for state in self.states:
+            pl = state.pipeline
+            yield from (pl.mpe_send, pl.mpe_recv, *pl.mpe_aux, *pl.clusters)
+
+    def enable_tracing(self) -> None:
+        """Record every server's busy intervals for trace export."""
+        from repro.utils.trace import enable_tracing
+
+        enable_tracing(self._all_servers())
+
+    def export_trace(self) -> str:
+        """Chrome-trace JSON of all recorded busy intervals."""
+        from repro.utils.trace import collect_intervals, to_chrome_trace
+
+        return to_chrome_trace(collect_intervals(self._all_servers()))
+
+    def utilization_by_unit_kind(self) -> dict[str, float]:
+        """Mean utilisation aggregated over nodes: M0/M1/M2/M3/C0..C3."""
+        per_server = self.utilization()
+        sums: dict[str, list[float]] = {}
+        for name, u in per_server.items():
+            kind = name.split(".")[-1]
+            sums.setdefault(kind, []).append(u)
+        return {k: float(np.mean(v)) for k, v in sorted(sums.items())}
+
+    # ------------------------------------------------------------ message I/O --
+    def _make_handler(self, state: NodeState):
+        def handler(msg: Message) -> None:
+            self._on_message(state, msg)
+
+        return handler
+
+    def _on_message(self, state: NodeState, msg: Message) -> None:
+        ready = state.pipeline.submit_recv(msg.arrival_time)
+        self._mark(ready)
+        if msg.tag == "eol":
+            return
+        u, v = msg.payload
+        nbytes = msg.nbytes
+        if msg.tag == "fwd":
+            execution = state.pipeline.submit_module(ready, "forward_handler", nbytes)
+            self._mark(execution.finish)
+            state.apply_forward(u, v)
+        elif msg.tag == "bwd":
+            execution = state.pipeline.submit_module(ready, "backward_handler", nbytes)
+            self._mark(execution.finish)
+            mu, mv = state.match_backward(u, v)
+            if len(mu):
+                self._route_records(state, execution, "fwd", mu, mv, self.owner[mv])
+        elif msg.tag == "fwd_relay":
+            execution = state.pipeline.submit_module(ready, "forward_relay", nbytes)
+            self._mark(execution.finish)
+            self._send_stage_two(state, execution, "fwd", u, v, self.owner[v])
+        elif msg.tag == "bwd_relay":
+            execution = state.pipeline.submit_module(ready, "backward_relay", nbytes)
+            self._mark(execution.finish)
+            self._send_stage_two(state, execution, "bwd", u, v, self.owner[u])
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown message tag {msg.tag!r}")
+
+    def _message_bytes(self, n_records: int) -> int:
+        payload = n_records * self.config.record_bytes / self.config.compression_ratio
+        return self.config.header_bytes + int(payload)
+
+    def _send_buckets(
+        self,
+        state: NodeState,
+        execution,
+        tag: str,
+        u: np.ndarray,
+        v: np.ndarray,
+        first_hops: np.ndarray,
+    ) -> None:
+        """Group records by first hop and inject one message per hop,
+        pipelined against the producing module's progress."""
+        if len(first_hops) == 0:
+            return
+        order = np.argsort(first_hops, kind="stable")
+        hops_sorted = first_hops[order]
+        u, v = u[order], v[order]
+        boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(hops_sorted)]))
+        n_buckets = len(starts)
+        for k, (a, b) in enumerate(zip(starts, stops)):
+            dest = int(hops_sorted[a])
+            count = b - a
+            if self.config.use_codec:
+                from repro.network.codec import encoded_size
+
+                nbytes = self.config.header_bytes + encoded_size(u[a:b], v[a:b])
+            else:
+                nbytes = self._message_bytes(count)
+            ready = execution.ready_fraction((k + 1) / n_buckets)
+            send_at = state.pipeline.submit_send(ready, nbytes)
+            self._mark(send_at)
+            self.cluster.send(
+                state.node_id, dest, tag, nbytes,
+                payload=(u[a:b], v[a:b]), at_time=send_at,
+            )
+            self._records_sent += count
+
+    def _route_records(
+        self,
+        state: NodeState,
+        execution,
+        kind: str,  # "fwd" or "bwd"
+        u: np.ndarray,
+        v: np.ndarray,
+        dest_nodes: np.ndarray,
+    ) -> None:
+        """Deliver records to their owner nodes — locally, directly, or via
+        the group relay, per configuration."""
+        me = state.node_id
+        local = dest_nodes == me
+        if local.any():
+            lu, lv = u[local], v[local]
+            nbytes = self._message_bytes(int(local.sum()))
+            if kind == "fwd":
+                local_exec = state.pipeline.submit_module(
+                    execution.finish, "forward_handler", nbytes
+                )
+                self._mark(local_exec.finish)
+                state.apply_forward(lu, lv)
+            else:
+                local_exec = state.pipeline.submit_module(
+                    execution.finish, "backward_handler", nbytes
+                )
+                self._mark(local_exec.finish)
+                mu, mv = state.match_backward(lu, lv)
+                if len(mu):
+                    self._route_records(
+                        state, local_exec, "fwd", mu, mv, self.owner[mv]
+                    )
+        remote = ~local
+        if not remote.any():
+            return
+        ru, rv, rdest = u[remote], v[remote], dest_nodes[remote]
+        if not self.config.use_relay:
+            self._send_buckets(state, execution, kind, ru, rv, rdest)
+            return
+        relays = self.groups.relay_vectorised(me, rdest)
+        # Records whose relay is this node (intra-group targets) or is the
+        # destination itself skip straight to stage two.
+        straight = (relays == me) | (relays == rdest)
+        if straight.any():
+            self._send_buckets(
+                state, execution, kind, ru[straight], rv[straight], rdest[straight]
+            )
+        hop = ~straight
+        if hop.any():
+            self._send_buckets(
+                state, execution, f"{kind}_relay", ru[hop], rv[hop], relays[hop]
+            )
+
+    def _send_stage_two(
+        self, state: NodeState, execution, kind: str,
+        u: np.ndarray, v: np.ndarray, dest_nodes: np.ndarray,
+    ) -> None:
+        """Relay module output: forward each record to its final owner.
+
+        Final hops are intra-group by construction; records owned by the
+        relay itself are handled locally.
+        """
+        self._route_records_direct_or_local(state, execution, kind, u, v, dest_nodes)
+
+    def _route_records_direct_or_local(
+        self, state, execution, kind, u, v, dest_nodes
+    ) -> None:
+        me = state.node_id
+        local = dest_nodes == me
+        if local.any():
+            lu, lv = u[local], v[local]
+            nbytes = self._message_bytes(int(local.sum()))
+            module = "forward_handler" if kind == "fwd" else "backward_handler"
+            local_exec = state.pipeline.submit_module(execution.finish, module, nbytes)
+            self._mark(local_exec.finish)
+            if kind == "fwd":
+                state.apply_forward(lu, lv)
+            else:
+                mu, mv = state.match_backward(lu, lv)
+                if len(mu):
+                    self._route_records(state, local_exec, "fwd", mu, mv, self.owner[mv])
+        remote = ~local
+        if remote.any():
+            self._send_buckets(
+                state, execution, kind, u[remote], v[remote], dest_nodes[remote]
+            )
+
+    def _send_termination_markers(self, state: NodeState, t_ready: float) -> None:
+        """Per-level end-of-transmission indicators (Section 3.3: "at least
+        one message transfer... for each pair of nodes"). Relay mode only
+        touches column + group peers — the N+M-2 connection set."""
+        if self.num_nodes == 1:
+            return
+        if self.config.use_relay:
+            peers = sorted(
+                set(self.groups.column_peers(state.node_id))
+                | set(self.groups.row_peers(state.node_id))
+            )
+        else:
+            peers = [p for p in range(self.num_nodes) if p != state.node_id]
+        nbytes = self.config.header_bytes
+        for peer in peers:
+            send_at = state.pipeline.submit_send(t_ready, nbytes)
+            self._mark(send_at)
+            self.cluster.send(state.node_id, peer, "eol", nbytes, at_time=send_at)
+
+    # -------------------------------------------------------------- collectives --
+    def _allreduce_time(self) -> float:
+        """Latency of a small tree allreduce across all nodes."""
+        if self.num_nodes == 1:
+            return 0.0
+        t = self.spec.taihulight
+        rounds = int(np.ceil(np.log2(self.num_nodes)))
+        return rounds * (t.inter_super_node_latency + t.message_overhead)
+
+    def _hub_allgather_time(self, empty: bool) -> float:
+        if self.hubs is None or self.num_nodes == 1:
+            return 0.0
+        t = self.spec.taihulight
+        per_node = self.hubs.allgather_bytes(empty)
+        rounds = int(np.ceil(np.log2(self.num_nodes)))
+        volume = per_node * self.num_nodes / t.nic_effective_bandwidth
+        return rounds * (t.inter_super_node_latency + t.message_overhead) + volume
+
+    # ------------------------------------------------------------------ levels --
+    def _hub_settle_pass(self, t0: float) -> None:
+        """Settle vertices adjacent to frontier hubs, locally on every node."""
+        assert self.hubs is not None
+        slots = self.hubs.frontier.indices()
+        if len(slots) == 0:
+            return
+        for state in self.states:
+            candidates = state.hub_candidates(slots)
+            if candidates == 0:
+                continue
+            nbytes = candidates * self.config.record_bytes
+            execution = state.pipeline.submit_module(t0, "hub_settle", nbytes)
+            self._mark(execution.finish)
+            self._hub_settled += state.settle_from_hubs(slots, self.hubs.hub_ids)
+
+    def _run_topdown_level(self, t0: float) -> None:
+        for state in self.states:
+            if len(state.curr) == 0:
+                self._send_termination_markers(state, t0)
+                continue
+            frontier = state.curr
+            if self.hubs is not None:
+                # Frontier hubs are handled at the destination side by the
+                # hub-settle pass; drop their edges at the source.
+                frontier_global = state.to_global(frontier)
+                frontier = frontier[~self.hubs.is_hub(frontier_global)]
+            v_local, targets = state.graph.expand(frontier)
+            sources = state.to_global(v_local)
+            if self.hubs is not None and len(targets):
+                keep = ~self.hubs.hub_visited(targets)
+                sources, targets = sources[keep], targets[keep]
+            nbytes = max(len(targets), 1) * self.config.record_bytes
+            execution = state.pipeline.submit_module(t0, "forward_generator", nbytes)
+            self._mark(execution.finish)
+            if len(targets):
+                self._route_records(
+                    state, execution, "fwd", sources, targets, self.owner[targets]
+                )
+            self._send_termination_markers(state, execution.finish)
+        self.engine.run_until_quiescent()
+
+    def _run_bottomup_level(self, t0: float) -> int:
+        """Bottom-up with chunked neighbour queries; returns sub-round count.
+
+        Each sub-round every still-unvisited vertex queries its next
+        ``bottomup_chunk`` untried neighbours (early-termination emulation of
+        the paper's streaming Backward Generator).
+        """
+        subrounds = 0
+        t_start = t0
+        while subrounds < self.config.bottomup_max_subrounds:
+            subrounds += 1
+            any_sent = False
+            for state in self.states:
+                u_targets, v_sources = state.bu_expand(self.config.bottomup_chunk)
+                if self.hubs is not None and len(u_targets):
+                    keep = ~self.hubs.is_hub(u_targets)
+                    u_targets, v_sources = u_targets[keep], v_sources[keep]
+                if len(u_targets) == 0:
+                    if subrounds == 1:
+                        self._send_termination_markers(state, t_start)
+                    continue
+                any_sent = True
+                nbytes = len(u_targets) * self.config.record_bytes
+                execution = state.pipeline.submit_module(
+                    t_start, "backward_generator", nbytes
+                )
+                self._mark(execution.finish)
+                self._route_records(
+                    state, execution, "bwd", u_targets, v_sources,
+                    self.owner[u_targets],
+                )
+                if subrounds == 1:
+                    self._send_termination_markers(state, execution.finish)
+            self.engine.run_until_quiescent()
+            if not any_sent:
+                break
+            # Quick settled-check between sub-rounds: a small allreduce.
+            t_start = self._t_max + self._allreduce_time()
+            self._mark(t_start)
+            if self.config.bottomup_chunk == 0:
+                break
+            if not any(len(s.bu_remaining()) for s in self.states):
+                break
+        return subrounds
+
+    # --------------------------------------------------------------------- run --
+    def run(self, root: int) -> BFSResult:
+        """Traverse from ``root``; returns the validated-shape result."""
+        n = self.graph.num_vertices
+        if not 0 <= root < n:
+            raise ConfigError(f"root {root} out of range")
+        for state in self.states:
+            state.reset()
+        if self.hubs is not None:
+            self.hubs.reset()
+        self.policy.reset()
+        owner_of_root = int(self.owner[root])
+        self.states[owner_of_root].seed_root(root)
+
+        msgs_before = self.cluster.stats.value("messages")
+        bytes_before = self.cluster.stats.value("bytes")
+        # Start after every leftover job from a previous root has drained so
+        # per-root durations never overlap.
+        t_run_start = max(self.engine.now, self._t_max)
+        self._t_max = t_run_start
+        self._records_sent = 0
+        self._hub_settled = 0
+        traces: list[LevelTrace] = []
+
+        level = 0
+        while level < self.config.max_levels:
+            level += 1
+            # Global statistics for the policy (charged as an allreduce).
+            stats = [s.frontier_stats() for s in self.states]
+            n_f = sum(s[0] for s in stats)
+            m_f = sum(s[1] for s in stats)
+            m_u = sum(s[2] for s in stats)
+            direction = self.policy.decide(n_f, m_f, m_u, n)
+
+            hub_count = 0
+            if self.hubs is not None:
+                frontier_global = np.concatenate(
+                    [s.to_global(s.curr) for s in self.states]
+                ) if n_f else np.empty(0, dtype=np.int64)
+                hub_count = self.hubs.update_frontier(frontier_global)
+
+            control = self._allreduce_time() + self._hub_allgather_time(
+                empty=hub_count == 0
+            )
+            t0 = self._t_max + control
+            self._mark(t0)
+            records_before_level = self._records_sent
+            hub_before = self._hub_settled
+            msgs_before_level = self.cluster.stats.value("messages")
+
+            if self.hubs is not None:
+                self._hub_settle_pass(t0)
+            subrounds = 1
+            if direction is Direction.TOP_DOWN:
+                self._run_topdown_level(t0)
+            else:
+                subrounds = self._run_bottomup_level(t0)
+
+            traces.append(
+                LevelTrace(
+                    level=level,
+                    direction=direction.value,
+                    frontier_vertices=n_f,
+                    frontier_edges=m_f,
+                    records_sent=self._records_sent - records_before_level,
+                    messages=int(
+                        self.cluster.stats.value("messages") - msgs_before_level
+                    ),
+                    hub_settled=self._hub_settled - hub_before,
+                    subrounds=subrounds,
+                    start=t0,
+                    finish=self._t_max,
+                )
+            )
+
+            # Level barrier: promote next -> curr; terminate on empty global
+            # frontier (one more allreduce, folded into the next level's
+            # control charge or the final mark).
+            new_frontier = sum(s.advance_level() for s in self.states)
+            if new_frontier == 0:
+                self._mark(self._t_max + self._allreduce_time())
+                break
+        else:
+            raise ReproError(f"BFS exceeded {self.config.max_levels} levels")
+
+        parent = np.concatenate([s.parent for s in self.states])
+        sim_seconds = self._t_max - t_run_start
+        result = BFSResult(
+            root=root,
+            parent=parent,
+            levels=len(traces),
+            sim_seconds=max(sim_seconds, 1e-12),
+            traces=traces,
+            stats={
+                "records_sent": float(self._records_sent),
+                "messages": self.cluster.stats.value("messages") - msgs_before,
+                "bytes": self.cluster.stats.value("bytes") - bytes_before,
+                "hub_settled": float(self._hub_settled),
+                "td_levels": float(
+                    sum(1 for t in traces if t.direction == "topdown")
+                ),
+                "bu_levels": float(
+                    sum(1 for t in traces if t.direction == "bottomup")
+                ),
+            },
+        )
+        return result

@@ -1,0 +1,63 @@
+"""Direction-optimisation policy (TRAVERSAL_POLICY in Algorithm 1).
+
+Implements the Beamer heuristic the paper cites [7]: switch from top-down
+to bottom-up when the frontier's outgoing edge count grows past the
+unexplored edge count divided by ``alpha``; switch back to top-down when
+the frontier shrinks below ``n / beta`` vertices. The policy carries
+hysteresis — it keeps the current state unless a threshold fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class Direction(enum.Enum):
+    TOP_DOWN = "topdown"
+    BOTTOM_UP = "bottomup"
+
+
+@dataclass
+class TraversalPolicy:
+    alpha: float = 14.0
+    beta: float = 24.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigError(f"alpha/beta must be positive: {self.alpha}/{self.beta}")
+        self._state = Direction.TOP_DOWN
+
+    @property
+    def state(self) -> Direction:
+        return self._state
+
+    def reset(self) -> None:
+        self._state = Direction.TOP_DOWN
+
+    def decide(
+        self,
+        frontier_vertices: int,
+        frontier_edges: int,
+        unexplored_edges: int,
+        num_vertices: int,
+    ) -> Direction:
+        """Pick the direction for the next level from global statistics.
+
+        ``frontier_edges`` is the sum of degrees over the frontier (m_f);
+        ``unexplored_edges`` the sum over unvisited vertices (m_u).
+        """
+        if min(frontier_vertices, frontier_edges, unexplored_edges) < 0:
+            raise ConfigError("negative traversal statistics")
+        if not self.enabled:
+            return Direction.TOP_DOWN
+        if self._state is Direction.TOP_DOWN:
+            if frontier_edges > unexplored_edges / self.alpha:
+                self._state = Direction.BOTTOM_UP
+        else:
+            if frontier_vertices < num_vertices / self.beta:
+                self._state = Direction.TOP_DOWN
+        return self._state

@@ -1,0 +1,52 @@
+"""Named configuration presets.
+
+- ``paper()`` — the published system exactly (Relay CPE, hybrid, hubs at
+  2^12/2^14, 1 KB quick path);
+- ``toy(...)`` — small-simulation defaults: hub counts scaled down so toy
+  graphs still exercise the message paths (most tests use this shape);
+- ``with_compression(...)`` — the Section 7 future-work integration, via
+  the real codec or a fixed ratio;
+- ``textbook()`` — plain top-down direct 1-D BFS, the null baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError
+
+
+def paper() -> BFSConfig:
+    """The published system: every BFSConfig default is the paper value."""
+    return BFSConfig()
+
+
+def toy(hub_count: int = 16, base: BFSConfig | None = None) -> BFSConfig:
+    """Small-scale simulation preset with reduced hub counts."""
+    if hub_count < 1:
+        raise ConfigError(f"hub count must be >= 1, got {hub_count}")
+    return replace(
+        base or BFSConfig(),
+        hub_count_topdown=hub_count,
+        hub_count_bottomup=hub_count,
+    )
+
+
+def with_compression(
+    ratio: float | None = None, base: BFSConfig | None = None
+) -> BFSConfig:
+    """Compression on: the real codec when ``ratio`` is None, else fixed."""
+    base = base or BFSConfig()
+    if ratio is None:
+        return replace(base, use_codec=True, compression_ratio=1.0)
+    return replace(base, use_codec=False, compression_ratio=ratio)
+
+
+def textbook() -> BFSConfig:
+    """Plain level-synchronous top-down 1-D BFS, direct messaging."""
+    return BFSConfig(
+        use_relay=False,
+        direction_optimizing=False,
+        use_hub_prefetch=False,
+    )

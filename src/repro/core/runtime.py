@@ -1,0 +1,214 @@
+"""Per-node functional state for the distributed BFS.
+
+A :class:`NodeState` owns one 1-D partition slice: the local CSR rows, the
+local parent array, current/next frontiers, the bottom-up neighbour cursors,
+and the hub adjacency used for local settling. All operations are
+vectorised; the driver (:mod:`repro.core.bfs`) decides *when* things happen,
+this module decides *what* the data becomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import NodePipeline
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+
+def expand_chunks(
+    graph: CSRGraph, verts: np.ndarray, cursors: np.ndarray, chunk: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand up to ``chunk`` not-yet-tried neighbours of each vertex.
+
+    ``cursors[i]`` is how many neighbours of ``verts[i]`` were already tried;
+    returns ``(sources, targets, taken)`` where ``taken[i]`` is how many
+    neighbours this call consumed (callers advance their cursor by it).
+    ``chunk == 0`` means "all remaining neighbours".
+    """
+    verts = np.asarray(verts, dtype=np.int64)
+    cursors = np.asarray(cursors, dtype=np.int64)
+    if verts.shape != cursors.shape:
+        raise ConfigError("verts and cursors must align")
+    starts = graph.row_ptr[verts] + cursors
+    stops = graph.row_ptr[verts + 1]
+    remaining = np.maximum(stops - starts, 0)
+    taken = remaining if chunk == 0 else np.minimum(remaining, chunk)
+    total = int(taken.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            taken,
+        )
+    sources = np.repeat(verts, taken)
+    seg_base = np.repeat(
+        starts - np.concatenate(([0], np.cumsum(taken)[:-1])), taken
+    )
+    targets = graph.col_idx[np.arange(total, dtype=np.int64) + seg_base]
+    return sources, targets, taken
+
+
+class NodeState:
+    """Functional BFS state of one simulated node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        lo: int,
+        hi: int,
+        local_graph: CSRGraph,
+        pipeline: NodePipeline,
+    ):
+        if hi < lo:
+            raise ConfigError(f"bad vertex range [{lo}, {hi})")
+        if local_graph.num_vertices != hi - lo:
+            raise ConfigError("local graph does not match the vertex range")
+        self.node_id = node_id
+        self.lo = lo
+        self.hi = hi
+        self.graph = local_graph
+        self.pipeline = pipeline
+        n_local = hi - lo
+        self.parent = np.full(n_local, -1, dtype=np.int64)
+        self.curr = np.empty(0, dtype=np.int64)  # local indices
+        self.curr_mask = np.zeros(n_local, dtype=bool)
+        self.next_mask = np.zeros(n_local, dtype=bool)
+        self.bu_cursor = np.zeros(n_local, dtype=np.int64)
+        self.local_degrees = local_graph.degrees()
+        # hub slot -> local neighbours, filled in by the driver when hub
+        # prefetch is enabled.
+        self.hub_adjacency: CSRGraph | None = None
+
+    @property
+    def n_local(self) -> int:
+        return self.hi - self.lo
+
+    def owns(self, v: int) -> bool:
+        return self.lo <= v < self.hi
+
+    def to_local(self, v: np.ndarray) -> np.ndarray:
+        return np.asarray(v, dtype=np.int64) - self.lo
+
+    def to_global(self, v_local: np.ndarray) -> np.ndarray:
+        return np.asarray(v_local, dtype=np.int64) + self.lo
+
+    # -- per-run / per-level maintenance ----------------------------------------
+    def reset(self) -> None:
+        self.parent[:] = -1
+        self.curr = np.empty(0, dtype=np.int64)
+        self.curr_mask[:] = False
+        self.next_mask[:] = False
+        self.bu_cursor[:] = 0
+
+    def seed_root(self, root: int) -> None:
+        if not self.owns(root):
+            raise ConfigError(f"node {self.node_id} does not own root {root}")
+        r = root - self.lo
+        self.parent[r] = root
+        self.curr = np.array([r], dtype=np.int64)
+        self.curr_mask[r] = True
+
+    def advance_level(self) -> int:
+        """Promote next to curr; returns the new local frontier size."""
+        self.curr = np.flatnonzero(self.next_mask).astype(np.int64)
+        self.curr_mask[:] = False
+        self.curr_mask[self.curr] = True
+        self.next_mask[:] = False
+        self.bu_cursor[:] = 0
+        return len(self.curr)
+
+    # -- frontier statistics (for the traversal policy) --------------------------
+    def frontier_stats(self) -> tuple[int, int, int]:
+        """(frontier vertices, frontier edges, unexplored edges) locally."""
+        n_f = len(self.curr)
+        m_f = int(self.local_degrees[self.curr].sum())
+        unvisited = self.parent < 0
+        m_u = int(self.local_degrees[unvisited].sum())
+        return n_f, m_f, m_u
+
+    # -- functional updates -------------------------------------------------------
+    def apply_forward(self, u: np.ndarray, v: np.ndarray) -> int:
+        """FORWARD_HANDLER: adopt parents for still-unvisited owned targets.
+
+        First record wins per target within the batch; returns how many
+        vertices were newly settled.
+        """
+        v_local = self.to_local(v)
+        if v_local.size == 0:
+            return 0
+        if v_local.min() < 0 or v_local.max() >= self.n_local:
+            raise ConfigError(f"node {self.node_id} received foreign vertices")
+        fresh = self.parent[v_local] < 0
+        v_local, u = v_local[fresh], np.asarray(u, dtype=np.int64)[fresh]
+        if v_local.size == 0:
+            return 0
+        uniq, first = np.unique(v_local, return_index=True)
+        self.parent[uniq] = u[first]
+        self.next_mask[uniq] = True
+        return len(uniq)
+
+    def match_backward(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """BACKWARD_HANDLER: keep the queries whose ``u`` is in our frontier."""
+        u_local = self.to_local(u)
+        if u_local.size == 0:
+            return u, v
+        if u_local.min() < 0 or u_local.max() >= self.n_local:
+            raise ConfigError(f"node {self.node_id} received foreign queries")
+        hit = self.curr_mask[u_local]
+        return np.asarray(u, dtype=np.int64)[hit], np.asarray(v, dtype=np.int64)[hit]
+
+    def settle_from_hubs(self, frontier_hub_slots: np.ndarray, hub_ids: np.ndarray) -> int:
+        """Settle local unvisited vertices adjacent to frontier hubs.
+
+        ``frontier_hub_slots`` indexes ``hub_ids``; the hub adjacency maps
+        slots to local neighbour indices. Returns candidates *examined* is
+        not needed — returns how many vertices were settled.
+        """
+        if self.hub_adjacency is None or len(frontier_hub_slots) == 0:
+            return 0
+        slots, neighbours = self.hub_adjacency.expand(
+            np.asarray(frontier_hub_slots, dtype=np.int64)
+        )
+        if len(neighbours) == 0:
+            return 0
+        fresh = self.parent[neighbours] < 0
+        slots, neighbours = slots[fresh], neighbours[fresh]
+        if len(neighbours) == 0:
+            return 0
+        uniq, first = np.unique(neighbours, return_index=True)
+        self.parent[uniq] = hub_ids[slots[first]]
+        self.next_mask[uniq] = True
+        return len(uniq)
+
+    def hub_candidates(self, frontier_hub_slots: np.ndarray) -> int:
+        """How many (hub, local vertex) pairs a hub-settle pass examines."""
+        if self.hub_adjacency is None or len(frontier_hub_slots) == 0:
+            return 0
+        slots = np.asarray(frontier_hub_slots, dtype=np.int64)
+        return int(
+            (self.hub_adjacency.row_ptr[slots + 1] - self.hub_adjacency.row_ptr[slots]).sum()
+        )
+
+    # -- bottom-up helpers -----------------------------------------------------------
+    def bu_remaining(self) -> np.ndarray:
+        """Local vertices still needing queries: unvisited with neighbours left."""
+        unvisited = self.parent < 0
+        has_more = self.bu_cursor < self.local_degrees
+        return np.flatnonzero(unvisited & has_more).astype(np.int64)
+
+    def bu_expand(self, chunk: int) -> tuple[np.ndarray, np.ndarray]:
+        """Next neighbour chunk for every remaining vertex.
+
+        Returns ``(u_targets, v_sources)`` as *global* ids: for each emitted
+        pair, ``u`` is the neighbour to query and ``v`` the unvisited vertex.
+        Advances the cursors.
+        """
+        remaining = self.bu_remaining()
+        if len(remaining) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        v_local, u_global, taken = expand_chunks(
+            self.graph, remaining, self.bu_cursor[remaining], chunk
+        )
+        self.bu_cursor[remaining] += taken
+        return u_global, self.to_global(v_local)

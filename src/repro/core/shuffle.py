@@ -1,0 +1,155 @@
+"""Contention-free data shuffling inside a CPE cluster (Section 4.3).
+
+A reaction module must take dynamically generated (u, v) records and land
+them, batched, in per-destination send buffers — with no main-memory
+atomics and no register-mesh deadlock. The paper's schema:
+
+- **producers** (columns 0-3) DMA-read input slices and push records east
+  along their row;
+- **routers** (columns 4-5) move records vertically — column 4 strictly
+  north, column 5 strictly south, so vertical channel dependencies can
+  never close a cycle;
+- **consumers** (columns 6-7) own disjoint destination sets, stage records
+  in per-destination SPM buffers, and DMA-write full 256 B-aligned batches
+  to non-overlapping memory regions — hence no contention and no atomics.
+
+:class:`ShufflePlan` materialises the routes, proves them deadlock-free
+with the channel-dependency test, verifies the SPM staging layout fits
+(the Direct-CPE crash happens right here), prices a shuffle via the
+cluster model, and — functionally — buckets records by destination with
+numpy so the simulated BFS gets real shuffled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BFSConfig, RoleLayout
+from repro.errors import ConfigError
+from repro.machine.cluster import CpeCluster
+from repro.machine.mesh import MeshTopology, RegisterMesh, Route, check_deadlock_free
+from repro.machine.spm import check_staging_layout
+
+
+@dataclass(frozen=True)
+class ShufflePlan:
+    """A validated role assignment for one cluster and destination count."""
+
+    roles: RoleLayout
+    num_destinations: int
+    staging_buffer_bytes: int = 1024
+    spm_reserved_bytes: int = 4096
+    spm_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_destinations < 1:
+            raise ConfigError(
+                f"shuffle needs at least one destination, got {self.num_destinations}"
+            )
+        # SPM feasibility: consumers split the destinations; every consumer
+        # needs a staging buffer per destination it owns. Raises SpmOverflow
+        # when the layout cannot fit — the Direct CPE failure mode.
+        check_staging_layout(
+            num_buffers=self.buffers_per_consumer,
+            buffer_bytes=self.staging_buffer_bytes,
+            spm_bytes=self.spm_bytes,
+            reserved_bytes=self.spm_reserved_bytes,
+            owner="consumer CPE",
+        )
+
+    @classmethod
+    def from_config(cls, config: BFSConfig, num_destinations: int) -> "ShufflePlan":
+        return cls(
+            roles=config.roles,
+            num_destinations=num_destinations,
+            staging_buffer_bytes=config.staging_buffer_bytes,
+            spm_reserved_bytes=config.spm_reserved_bytes,
+        )
+
+    # -- layout --------------------------------------------------------------
+    @property
+    def buffers_per_consumer(self) -> int:
+        return -(-self.num_destinations // self.roles.n_consumers)
+
+    def consumer_for(self, destination_index: int) -> tuple[int, int]:
+        """Mesh position of the consumer owning ``destination_index``.
+
+        Destinations map round-robin over consumers so load spreads evenly.
+        """
+        if not 0 <= destination_index < self.num_destinations:
+            raise ConfigError(f"destination {destination_index} out of range")
+        consumers = self.roles.consumer_positions()
+        return consumers[destination_index % len(consumers)]
+
+    def route(self, producer: tuple[int, int], destination_index: int) -> Route:
+        """Producer -> row-east -> router column -> vertical -> consumer."""
+        pr, pc = producer
+        if (pr, pc) not in set(self.roles.producer_positions()):
+            raise ConfigError(f"{producer} is not a producer position")
+        cr, cc = self.consumer_for(destination_index)
+        up_col, down_col = self.roles.router_columns()
+        router_col = up_col if cr < pr else down_col
+        stops: list[tuple[int, int]] = [(pr, pc)]
+        if pc != router_col:
+            stops.append((pr, router_col))
+        if cr != pr:
+            stops.append((cr, router_col))
+        stops.append((cr, cc))
+        return Route.through(*stops)
+
+    def all_routes(self) -> list[Route]:
+        """Every producer-to-destination route the schedule can use."""
+        return [
+            self.route(p, d)
+            for p in self.roles.producer_positions()
+            for d in range(self.num_destinations)
+        ]
+
+    def verify_deadlock_free(self, mesh: MeshTopology | None = None) -> bool:
+        """Channel-dependency acyclicity over the full route set."""
+        return check_deadlock_free(self.all_routes(), mesh or MeshTopology())
+
+    # -- timing ---------------------------------------------------------------
+    def shuffle_time(self, nbytes: float, cluster: CpeCluster, record_bytes: int = 8) -> float:
+        return cluster.shuffle_time(
+            nbytes,
+            n_producers=self.roles.n_producers,
+            n_consumers=self.roles.n_consumers,
+            record_bytes=record_bytes,
+        )
+
+    def micro_benchmark_throughput(
+        self, records_per_flow: int = 64, frequency_hz: float = 1.45e9
+    ) -> float:
+        """Drive the cycle-stepped mesh with a representative flow set.
+
+        Used by the register-bandwidth micro-benchmark; returns bytes/s of
+        raw register traffic (the DMA sides are modelled separately).
+        """
+        mesh = RegisterMesh(frequency_hz=frequency_hz)
+        flows = []
+        for i, p in enumerate(self.roles.producer_positions()):
+            d = i % self.num_destinations
+            flows.append((self.route(p, d), records_per_flow * 32))
+        return mesh.throughput(flows)
+
+    # -- functional shuffle ------------------------------------------------------
+    @staticmethod
+    def bucket(destinations: np.ndarray, num_destinations: int) -> tuple[np.ndarray, np.ndarray]:
+        """Group record indices by destination (the consumers' output).
+
+        Returns ``(order, offsets)``: ``order`` permutes record indices so
+        equal destinations are contiguous (stable, preserving producer
+        order — what FIFO consumer buffers produce); ``offsets[d]:offsets[d+1]``
+        slices destination ``d``'s records.
+        """
+        dest = np.asarray(destinations, dtype=np.int64)
+        if dest.size and (dest.min() < 0 or dest.max() >= num_destinations):
+            raise ConfigError("destination index out of range")
+        order = np.argsort(dest, kind="stable")
+        counts = np.bincount(dest, minlength=num_destinations)
+        offsets = np.zeros(num_destinations + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return order, offsets

@@ -1,0 +1,35 @@
+"""Graph substrate: edge lists, CSR, generators, partitioning, bitmaps.
+
+Everything here is vertex-id-typed ``int64`` and vectorised with numpy; the
+hot paths (CSR construction, frontier expansion) follow the Graph500
+reference semantics so the harness in :mod:`repro.graph500` can validate
+results against the spec.
+"""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.csr import CSRGraph
+from repro.graph.kronecker import KroneckerGenerator
+from repro.graph.generators import (
+    erdos_renyi_edges,
+    barabasi_albert_edges,
+    ring_edges,
+    star_edges,
+    grid_edges,
+    complete_edges,
+)
+from repro.graph.partition import Partition1D
+from repro.graph.bitmap import Bitmap
+
+__all__ = [
+    "EdgeList",
+    "CSRGraph",
+    "KroneckerGenerator",
+    "erdos_renyi_edges",
+    "barabasi_albert_edges",
+    "ring_edges",
+    "star_edges",
+    "grid_edges",
+    "complete_edges",
+    "Partition1D",
+    "Bitmap",
+]

@@ -1,0 +1,127 @@
+"""Dense bitmaps over vertex sets.
+
+Bitmaps are the representation the paper uses for hub-vertex frontiers
+("a bitmap is used for compressing the frontiers", Section 5): one bit per
+vertex, cheap unions, popcounts, and — crucially for message-size
+accounting — an exact wire size of ``ceil(n/8)`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_WORD_BITS = 64
+
+
+class Bitmap:
+    """A fixed-size bit vector backed by uint64 words."""
+
+    __slots__ = ("num_bits", "words")
+
+    def __init__(self, num_bits: int, words: np.ndarray | None = None):
+        if num_bits < 0:
+            raise ConfigError(f"negative bitmap size: {num_bits}")
+        self.num_bits = num_bits
+        n_words = -(-num_bits // _WORD_BITS) if num_bits else 0
+        if words is None:
+            self.words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            words = np.asarray(words, dtype=np.uint64)
+            if words.shape != (n_words,):
+                raise ConfigError(
+                    f"expected {n_words} words for {num_bits} bits, got {words.shape}"
+                )
+            self.words = words.copy()
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def from_indices(cls, num_bits: int, indices: np.ndarray) -> "Bitmap":
+        bm = cls(num_bits)
+        bm.set_many(indices)
+        return bm
+
+    @classmethod
+    def from_bool(cls, mask: np.ndarray) -> "Bitmap":
+        mask = np.asarray(mask, dtype=bool)
+        bm = cls(len(mask))
+        bm.set_many(np.flatnonzero(mask))
+        return bm
+
+    # -- mutation -------------------------------------------------------------------
+    def set_many(self, indices: np.ndarray) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.num_bits:
+            raise ConfigError("bit index out of range")
+        np.bitwise_or.at(
+            self.words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+        )
+
+    def set(self, index: int) -> None:
+        self.set_many(np.array([index]))
+
+    def clear(self) -> None:
+        self.words[:] = 0
+
+    def ior(self, other: "Bitmap") -> None:
+        self._check_compatible(other)
+        self.words |= other.words
+
+    # -- queries ---------------------------------------------------------------------
+    def get(self, index: int) -> bool:
+        if not 0 <= index < self.num_bits:
+            raise ConfigError(f"bit index {index} out of range")
+        word = self.words[index // _WORD_BITS]
+        return bool((word >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        if idx.min() < 0 or idx.max() >= self.num_bits:
+            raise ConfigError("bit index out of range")
+        words = self.words[idx // _WORD_BITS]
+        return ((words >> (idx % _WORD_BITS).astype(np.uint64)) & np.uint64(1)).astype(bool)
+
+    def count(self) -> int:
+        return int(np.bitwise_count(self.words).sum()) if len(self.words) else 0
+
+    def indices(self) -> np.ndarray:
+        """Set bit positions, ascending."""
+        if self.num_bits == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self.num_bits]).astype(np.int64)
+
+    def any(self) -> bool:
+        return bool(self.words.any())
+
+    def nbytes_wire(self) -> int:
+        """Exact bytes to transmit this bitmap (what the allgather costs)."""
+        return -(-self.num_bits // 8)
+
+    def copy(self) -> "Bitmap":
+        return Bitmap(self.num_bits, self.words)
+
+    def _check_compatible(self, other: "Bitmap") -> None:
+        if self.num_bits != other.num_bits:
+            raise ConfigError(
+                f"bitmap size mismatch: {self.num_bits} vs {other.num_bits}"
+            )
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._check_compatible(other)
+        out = self.copy()
+        out.ior(other)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.num_bits == other.num_bits and np.array_equal(self.words, other.words)
+
+    def __repr__(self) -> str:
+        return f"Bitmap(bits={self.num_bits}, set={self.count()})"

@@ -1,0 +1,107 @@
+"""Non-Kronecker graph generators for tests, examples and ablations.
+
+These cover structures with known BFS answers (rings, stars, grids,
+cliques) plus Erdos-Renyi noise graphs — useful for exercising corner cases
+the power-law generator rarely produces (uniform degree, deep diameters,
+disconnected pieces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+from repro.sim.rng import substream
+
+
+def ring_edges(n: int) -> EdgeList:
+    """A cycle 0-1-...-(n-1)-0: diameter ~ n/2, degree 2 everywhere."""
+    if n < 3:
+        raise ConfigError(f"ring needs >= 3 vertices, got {n}")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return EdgeList(src, dst, n)
+
+
+def star_edges(n: int, hub: int = 0) -> EdgeList:
+    """A star around ``hub``: the extreme hub-vertex workload."""
+    if n < 2:
+        raise ConfigError(f"star needs >= 2 vertices, got {n}")
+    if not 0 <= hub < n:
+        raise ConfigError(f"hub {hub} out of range")
+    leaves = np.array([v for v in range(n) if v != hub], dtype=np.int64)
+    hubs = np.full(len(leaves), hub, dtype=np.int64)
+    return EdgeList(hubs, leaves, n)
+
+
+def grid_edges(rows: int, cols: int) -> EdgeList:
+    """A rows x cols 4-neighbour grid: moderate diameter, no hubs."""
+    if rows < 1 or cols < 1:
+        raise ConfigError(f"bad grid shape {rows}x{cols}")
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    horiz_src = idx[:, :-1].ravel()
+    horiz_dst = idx[:, 1:].ravel()
+    vert_src = idx[:-1, :].ravel()
+    vert_dst = idx[1:, :].ravel()
+    return EdgeList(
+        np.concatenate([horiz_src, vert_src]),
+        np.concatenate([horiz_dst, vert_dst]),
+        n,
+    )
+
+
+def complete_edges(n: int) -> EdgeList:
+    """K_n: every pair once (small n only — quadratic)."""
+    if n < 2:
+        raise ConfigError(f"clique needs >= 2 vertices, got {n}")
+    if n > 4096:
+        raise ConfigError(f"clique of {n} vertices is too large to materialise")
+    iu = np.triu_indices(n, k=1)
+    return EdgeList(iu[0].astype(np.int64), iu[1].astype(np.int64), n)
+
+
+def barabasi_albert_edges(n: int, attach: int, seed: int = 1) -> EdgeList:
+    """Preferential attachment: each new vertex attaches to ``attach``
+    existing vertices sampled proportionally to degree.
+
+    Produces hub-dominated graphs like crawled webs/social networks — a
+    second power-law family to cross-check behaviours the Kronecker
+    generator might special-case. Implemented with the repeated-endpoint
+    trick: sampling uniformly from the running endpoint list is exactly
+    degree-proportional sampling.
+    """
+    if attach < 1:
+        raise ConfigError(f"attach must be >= 1, got {attach}")
+    if n <= attach:
+        raise ConfigError(f"need more than {attach} vertices, got {n}")
+    rng = substream(seed, "barabasi-albert", n, attach)
+    src: list[int] = []
+    dst: list[int] = []
+    endpoints: list[int] = list(range(attach))  # seed clique-ish core
+    for v in range(attach, n):
+        picks = set()
+        while len(picks) < attach:
+            picks.add(int(endpoints[rng.integers(0, len(endpoints))]))
+        for u in picks:
+            src.append(v)
+            dst.append(u)
+            endpoints.append(v)
+            endpoints.append(u)
+    return EdgeList(
+        np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), n
+    )
+
+
+def erdos_renyi_edges(n: int, avg_degree: float, seed: int = 1) -> EdgeList:
+    """G(n, m) with ``m = n * avg_degree / 2`` uniformly sampled pairs."""
+    if n < 2:
+        raise ConfigError(f"need >= 2 vertices, got {n}")
+    if avg_degree <= 0:
+        raise ConfigError(f"average degree must be positive, got {avg_degree}")
+    m = max(1, int(round(n * avg_degree / 2)))
+    rng = substream(seed, "erdos-renyi", n, m)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    return EdgeList(src, dst, n)

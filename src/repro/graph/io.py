@@ -1,0 +1,123 @@
+"""Graph persistence: NPZ archives and Graph500-style edge text files.
+
+The Graph500 pipeline materialises the raw edge list (step 1) before
+construction; these helpers let experiments cache generated graphs and
+import external edge lists.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+
+_FORMAT_VERSION = 1
+
+
+def save_edgelist(path: str | pathlib.Path, edges: EdgeList) -> pathlib.Path:
+    """Write an edge list as a compressed ``.npz`` archive."""
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        src=edges.src,
+        dst=edges.dst,
+        num_vertices=np.int64(edges.num_vertices),
+        format_version=np.int64(_FORMAT_VERSION),
+    )
+    # np.savez appends .npz when missing.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_edgelist(path: str | pathlib.Path) -> EdgeList:
+    """Read an edge list written by :func:`save_edgelist`."""
+    with np.load(pathlib.Path(path)) as data:
+        try:
+            version = int(data["format_version"])
+            src = data["src"]
+            dst = data["dst"]
+            n = int(data["num_vertices"])
+        except KeyError as exc:
+            raise ConfigError(f"not a repro edge-list archive: missing {exc}") from exc
+    if version > _FORMAT_VERSION:
+        raise ConfigError(f"edge-list format v{version} is newer than this reader")
+    return EdgeList(src, dst, n)
+
+
+def write_edge_text(path: str | pathlib.Path, edges: EdgeList) -> pathlib.Path:
+    """Write the Graph500-style whitespace ``src dst`` text format."""
+    path = pathlib.Path(path)
+    np.savetxt(
+        path,
+        np.column_stack([edges.src, edges.dst]),
+        fmt="%d",
+        header=f"num_vertices={edges.num_vertices}",
+    )
+    return path
+
+
+def write_matrix_market(path: str | pathlib.Path, edges: EdgeList) -> pathlib.Path:
+    """Write the MatrixMarket coordinate pattern format (1-based ids) —
+    the lingua franca of HPC graph collections (SuiteSparse, etc.)."""
+    path = pathlib.Path(path)
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+        fh.write(f"{edges.num_vertices} {edges.num_vertices} {edges.num_edges}\n")
+        for u, v in zip(edges.src.tolist(), edges.dst.tolist()):
+            fh.write(f"{u + 1} {v + 1}\n")
+    return path
+
+
+def read_matrix_market(path: str | pathlib.Path) -> EdgeList:
+    """Read a coordinate MatrixMarket file (pattern or weighted; weights
+    are dropped — the Graph500 pipeline synthesises its own)."""
+    path = pathlib.Path(path)
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket matrix coordinate"):
+            raise ConfigError(f"{path} is not a coordinate MatrixMarket file")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            rows, cols, nnz = (int(x) for x in line.split())
+        except ValueError as exc:
+            raise ConfigError(f"bad MatrixMarket size line: {line!r}") from exc
+        data = np.loadtxt(fh, dtype=np.float64, ndmin=2)
+    n = max(rows, cols)
+    if nnz == 0 or data.size == 0:
+        return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), max(n, 1))
+    if data.shape[0] != nnz:
+        raise ConfigError(
+            f"MatrixMarket header promises {nnz} entries, file has {data.shape[0]}"
+        )
+    src = data[:, 0].astype(np.int64) - 1
+    dst = data[:, 1].astype(np.int64) - 1
+    return EdgeList(src, dst, n)
+
+
+def read_edge_text(
+    path: str | pathlib.Path, num_vertices: int | None = None
+) -> EdgeList:
+    """Read ``src dst`` text; vertex count from the header or the data."""
+    path = pathlib.Path(path)
+    header_n = None
+    with open(path) as fh:
+        first = fh.readline()
+        if first.startswith("#") and "num_vertices=" in first:
+            header_n = int(first.split("num_vertices=")[1])
+    data = np.loadtxt(path, dtype=np.int64, ndmin=2, comments="#")
+    if data.size == 0:
+        src = dst = np.empty(0, dtype=np.int64)
+    else:
+        if data.shape[1] != 2:
+            raise ConfigError(f"expected two columns, got {data.shape[1]}")
+        src, dst = data[:, 0], data[:, 1]
+    n = num_vertices if num_vertices is not None else header_n
+    if n is None:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        if n <= 0:
+            raise ConfigError("cannot infer vertex count from an empty file")
+    return EdgeList(src, dst, n)

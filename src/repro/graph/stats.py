@@ -1,0 +1,89 @@
+"""Graph statistics: degree distributions, skew, component structure.
+
+Backs the characterisation claims of Section 2.2 (power-law degrees,
+non-uniform distribution causing load imbalance) with measurable numbers,
+and gives examples/benchmarks a common vocabulary for describing inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph500.reference import reference_depths
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of an undirected degree distribution."""
+
+    num_vertices: int
+    num_edge_tuples: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    isolated: int
+    #: Fraction of all endpoint slots held by the top 1% of vertices.
+    top1pct_share: float
+    #: Gini coefficient of the degree distribution (0 uniform, ->1 skewed).
+    gini: float
+
+    def is_heavily_skewed(self) -> bool:
+        """The paper's premise: hubs dominate ("power law distribution")."""
+        return self.top1pct_share > 0.05 and self.gini > 0.4
+
+
+def degree_stats(edges: EdgeList) -> DegreeStats:
+    deg = edges.undirected_degrees().astype(np.float64)
+    n = len(deg)
+    if n == 0:
+        raise ConfigError("empty graph")
+    sorted_deg = np.sort(deg)
+    total = sorted_deg.sum()
+    top = max(1, n // 100)
+    top_share = float(sorted_deg[-top:].sum() / total) if total else 0.0
+    if total > 0:
+        # Gini via the sorted-rank formula.
+        ranks = np.arange(1, n + 1)
+        gini = float((2 * ranks - n - 1) @ sorted_deg / (n * total))
+    else:
+        gini = 0.0
+    return DegreeStats(
+        num_vertices=n,
+        num_edge_tuples=edges.num_edges,
+        max_degree=int(sorted_deg[-1]),
+        mean_degree=float(deg.mean()),
+        median_degree=float(np.median(deg)),
+        isolated=int((deg == 0).sum()),
+        top1pct_share=top_share,
+        gini=gini,
+    )
+
+
+def component_sizes(graph: CSRGraph) -> np.ndarray:
+    """Sizes of connected components, descending (BFS sweep)."""
+    remaining = np.ones(graph.num_vertices, dtype=bool)
+    sizes = []
+    while remaining.any():
+        root = int(np.flatnonzero(remaining)[0])
+        depth = reference_depths(graph, root)
+        members = depth >= 0
+        sizes.append(int(members.sum()))
+        remaining &= ~members
+    return np.sort(np.array(sizes, dtype=np.int64))[::-1]
+
+
+def eccentricity_profile(graph: CSRGraph, root: int) -> dict[str, float]:
+    """Level-structure summary of a BFS from ``root`` (for workload docs)."""
+    depth = reference_depths(graph, root)
+    reached = depth[depth >= 0]  # never empty: the root is depth 0
+    return {
+        "reached": float(len(reached)),
+        "levels": float(reached.max() + 1),
+        "median_depth": float(np.median(reached)),
+        "mean_depth": float(reached.mean()),
+    }

@@ -1,0 +1,31 @@
+"""Graph500 benchmark harness.
+
+Section 2.3 of the paper lists the benchmark's steps: (1) generate the raw
+graph, (2) select 64 non-trivial search roots, (3) construct the search
+structure, (4) run the BFS kernel per root, (5) validate each result,
+(6) compute and report performance. This package implements all six against
+the simulated machine; the kernel itself is pluggable (the paper variant,
+the baselines, or the sequential reference).
+"""
+
+from repro.graph500.spec import Graph500Spec
+from repro.graph500.roots import sample_roots
+from repro.graph500.reference import reference_bfs, reference_depths
+from repro.graph500.validate import validate_bfs_result
+from repro.graph500.distributed_validate import DistributedValidator
+from repro.graph500.timing import TepsStatistics
+from repro.graph500.report import BenchmarkReport, RootRun
+from repro.graph500.runner import Graph500Runner
+
+__all__ = [
+    "Graph500Spec",
+    "sample_roots",
+    "reference_bfs",
+    "reference_depths",
+    "validate_bfs_result",
+    "DistributedValidator",
+    "TepsStatistics",
+    "BenchmarkReport",
+    "RootRun",
+    "Graph500Runner",
+]

@@ -1,0 +1,173 @@
+"""Distributed BFS validation (benchmark step 5, at scale).
+
+Section 5: "we also ... optimize the BFS verification algorithm to scale
+the entire benchmark to 10.6 million cores." The sequential validator
+(:mod:`repro.graph500.validate`) re-runs a reference BFS — fine for ground
+truth, impossible at machine scale. This validator checks the same rules
+*distributively* on the superstep engine, with no reference traversal:
+
+1. depths are resolved by iterative parent-depth queries (owner of the
+   parent answers when its own depth is known) — a tree of height L
+   resolves in L supersteps, and any cycle or dangling chain simply never
+   resolves, which is the rule-1 violation;
+2. claimed tree edges are checked against the owner's adjacency rows;
+3. with depths replicated (one allgather, priced like the hub bitmaps),
+   every input edge is checked to span at most one level and never straddle
+   the reached/unreached boundary — which together with (1) and (2) pins
+   the depths to exact BFS distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ValidationError
+from repro.graph.edgelist import EdgeList
+
+
+@dataclass
+class DistributedValidationResult:
+    depth: np.ndarray
+    sim_seconds: float
+    supersteps: int
+
+
+class DistributedValidator:
+    """Validate parent maps for graphs distributed over ``nodes`` ranks."""
+
+    def __init__(self, edges: EdgeList, nodes: int, **engine_kwargs):
+        # Late import: repro.algorithms.base pulls in repro.core, whose
+        # package init reaches back into repro.graph500 — importing here
+        # keeps the package graph acyclic at module-load time.
+        from repro.algorithms.base import SuperstepEngine
+
+        self.engine = SuperstepEngine(edges, nodes, **engine_kwargs)
+        self.edges = edges
+
+    def validate(
+        self, root: int, parent: np.ndarray, max_rounds: int = 100_000
+    ) -> DistributedValidationResult:
+        eng = self.engine
+        n = eng.graph.num_vertices
+        parent = np.asarray(parent, dtype=np.int64)
+        if parent.shape != (n,):
+            raise ConfigError(f"parent map must have shape ({n},)")
+        if not 0 <= root < n:
+            raise ConfigError(f"root {root} out of range")
+        if parent[root] != root:
+            raise ValidationError("rule 1: the root is not its own parent")
+        if ((parent < -1) | (parent >= n)).any():
+            raise ValidationError("rule 1: parent id out of range")
+
+        # Rule 5 first (purely local): claimed tree edges must exist.
+        for part in eng.parts:
+            mine = np.arange(part.lo, part.hi, dtype=np.int64)
+            p_local = parent[mine]
+            children = mine[(p_local >= 0) & (mine != root)]
+            if len(children) == 0:
+                continue
+            srcs, tgts = part.graph.expand(children - part.lo)
+            keys = (srcs + part.lo) * np.int64(n) + tgts
+            want = children * np.int64(n) + parent[children]
+            ok = np.isin(want, keys)
+            if not ok.all():
+                bad = int(children[np.flatnonzero(~ok)[0]])
+                raise ValidationError(
+                    f"rule 5: claimed tree edge {parent[bad]} -> {bad} "
+                    "is not a graph edge"
+                )
+
+        # Depth resolution by repeated parent queries.
+        depth = [np.full(p.n_local, -1, dtype=np.int64) for p in eng.parts]
+        root_owner = int(eng.owner[root])
+        depth[root_owner][root - eng.parts[root_owner].lo] = 0
+        t_start = eng.sim_seconds
+        rounds = 0
+        resolved_now = True
+        while rounds < max_rounds:
+            rounds += 1
+            outgoing = []
+            pending_any = False
+            for part, d in zip(eng.parts, depth):
+                mine = np.arange(part.lo, part.hi, dtype=np.int64)
+                unresolved = mine[(parent[mine] >= 0) & (d < 0)]
+                if len(unresolved) == 0:
+                    outgoing.append((np.empty(0, np.int64), np.empty(0)))
+                    continue
+                pending_any = True
+                # Ask the owner of each parent for its depth; encode the
+                # child id as the value so the answer can come straight
+                # back as (child, depth).
+                outgoing.append((parent[unresolved], unresolved.astype(np.float64)))
+            if not pending_any:
+                rounds -= 1
+                break
+            inboxes = eng.superstep(outgoing)
+            # Owners answer queries whose target depth is known.
+            answers = []
+            for part, d, (q_parent, q_child) in zip(eng.parts, depth, inboxes):
+                if len(q_parent) == 0:
+                    answers.append((np.empty(0, np.int64), np.empty(0)))
+                    continue
+                pd = d[q_parent - part.lo]
+                known = pd >= 0
+                answers.append(
+                    (q_child[known].astype(np.int64), (pd[known] + 1).astype(np.float64))
+                )
+            inboxes = eng.superstep(answers)
+            resolved_now = False
+            for part, d, (child, child_depth) in zip(eng.parts, depth, inboxes):
+                if len(child) == 0:
+                    continue
+                d[child - part.lo] = child_depth.astype(np.int64)
+                resolved_now = True
+            if not resolved_now:
+                # No progress while queries remain: a cycle or a chain
+                # detached from the root.
+                raise ValidationError(
+                    "rule 1: parent chains contain a cycle or dangling branch"
+                )
+        else:
+            raise ValidationError(f"depth resolution exceeded {max_rounds} rounds")
+
+        full_depth = np.full(n, -1, dtype=np.int64)
+        for part, d in zip(eng.parts, depth):
+            full_depth[part.lo : part.hi] = d
+
+        # Replicate depths (allgather, priced) and run the edge rules.
+        t_allgather = self._allgather_cost(n)
+        eng._mark(eng.sim_seconds + t_allgather)
+
+        e = self.edges.without_self_loops()
+        du, dv = full_depth[e.src], full_depth[e.dst]
+        if np.any((du >= 0) != (dv >= 0)):
+            bad = int(np.flatnonzero((du >= 0) != (dv >= 0))[0])
+            raise ValidationError(
+                f"rule 4: edge ({e.src[bad]}, {e.dst[bad]}) straddles the "
+                "reached/unreached boundary"
+            )
+        both = (du >= 0) & (dv >= 0)
+        if both.any() and np.abs(du[both] - dv[both]).max() > 1:
+            raise ValidationError("rule 3: an edge spans more than one level")
+        # Reached set must agree with the parent map.
+        if not np.array_equal(full_depth >= 0, parent >= 0):
+            raise ValidationError("rule 1: reached sets disagree with depths")
+
+        return DistributedValidationResult(
+            depth=full_depth,
+            sim_seconds=eng.sim_seconds - t_start,
+            supersteps=rounds,
+        )
+
+    def _allgather_cost(self, n: int) -> float:
+        t = self.engine.spec.taihulight
+        per_node = n // self.engine.num_nodes * 8
+        if self.engine.num_nodes == 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(self.engine.num_nodes)))
+        return (
+            rounds * (t.inter_super_node_latency + t.message_overhead)
+            + per_node * self.engine.num_nodes / t.nic_effective_bandwidth
+        )

@@ -1,0 +1,87 @@
+"""Sequential reference BFS.
+
+A straightforward level-synchronous CSR BFS used as ground truth: the
+distributed kernels' parent maps are validated structurally against the
+Graph500 rules *and* their implied depths are compared against this
+reference (any valid BFS tree has exactly these depths, even though parent
+choices may differ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+
+def reference_bfs(graph: CSRGraph, root: int) -> np.ndarray:
+    """Parent array: parent[root] = root, -1 for unreached vertices."""
+    if not 0 <= root < graph.num_vertices:
+        raise ConfigError(f"root {root} out of range")
+    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    while len(frontier):
+        sources, targets = graph.expand(frontier)
+        fresh = parent[targets] == -1
+        sources, targets = sources[fresh], targets[fresh]
+        if len(targets) == 0:
+            break
+        # First writer wins within a level: np.unique keeps the first
+        # occurrence index per target, making the result deterministic.
+        uniq_targets, first_idx = np.unique(targets, return_index=True)
+        parent[uniq_targets] = sources[first_idx]
+        frontier = uniq_targets
+    return parent
+
+
+def reference_depths(graph: CSRGraph, root: int) -> np.ndarray:
+    """Depth array: 0 at the root, -1 for unreached vertices."""
+    if not 0 <= root < graph.num_vertices:
+        raise ConfigError(f"root {root} out of range")
+    depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+    depth[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        _, targets = graph.expand(frontier)
+        targets = targets[depth[targets] == -1]
+        if len(targets) == 0:
+            break
+        frontier = np.unique(targets)
+        depth[frontier] = level
+    return depth
+
+
+def depths_from_parents(parent: np.ndarray, root: int) -> np.ndarray:
+    """Depths implied by a parent map (-1 where unreached).
+
+    Walks the tree by repeated parent-pointer relaxation; raises if the map
+    is not a tree rooted at ``root`` (a cycle never converges and is caught
+    by the iteration bound).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(parent)
+    depth = np.full(n, -1, dtype=np.int64)
+    if not 0 <= root < n or parent[root] != root:
+        raise ConfigError("parent map is not rooted at the requested root")
+    depth[root] = 0
+    frontier_mask = np.zeros(n, dtype=bool)
+    frontier_mask[root] = True
+    reached = parent >= 0
+    for level in range(1, n + 1):
+        # Vertices whose parent is in the current frontier get this depth.
+        candidates = reached & (depth == -1)
+        idx = np.flatnonzero(candidates)
+        if len(idx) == 0:
+            return depth
+        hit = frontier_mask[parent[idx]]
+        nxt = idx[hit]
+        if len(nxt) == 0:
+            raise ConfigError("parent map contains unreachable or cyclic chains")
+        depth[nxt] = level
+        frontier_mask = np.zeros(n, dtype=bool)
+        frontier_mask[nxt] = True
+    return depth

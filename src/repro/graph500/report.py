@@ -1,0 +1,112 @@
+"""Benchmark report structures and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph500.spec import Graph500Spec
+from repro.graph500.timing import TepsStatistics
+from repro.utils.tables import Table
+from repro.utils.units import fmt_count, fmt_time
+
+
+@dataclass(frozen=True)
+class RootRun:
+    """Result of the kernel on one search root."""
+
+    root: int
+    traversed_edges: int
+    seconds: float
+    levels: int
+    validated: bool
+
+    @property
+    def teps(self) -> float:
+        return self.traversed_edges / self.seconds
+
+
+@dataclass
+class BenchmarkReport:
+    """Everything step (6) needs to print."""
+
+    spec: Graph500Spec
+    nodes: int
+    variant: str
+    runs: list[RootRun] = field(default_factory=list)
+    construction_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> TepsStatistics:
+        return TepsStatistics.from_runs(
+            [r.traversed_edges for r in self.runs],
+            [r.seconds for r in self.runs],
+        )
+
+    @property
+    def gteps(self) -> float:
+        return self.stats.gteps()
+
+    @property
+    def all_validated(self) -> bool:
+        return all(r.validated for r in self.runs)
+
+    def summary(self) -> str:
+        s = self.stats
+        lines = [
+            f"Graph500 BFS — scale {self.spec.scale} "
+            f"(2^{self.spec.scale} vertices, edgefactor {self.spec.edge_factor}), "
+            f"{self.nodes} simulated nodes, variant {self.variant!r}",
+            f"  roots run:        {len(self.runs)} "
+            f"({'all validated' if self.all_validated else 'VALIDATION FAILURES'})",
+            f"  harmonic mean:    {s.gteps():.4f} GTEPS",
+            f"  min / median / max: {s.min() / 1e9:.4f} / {s.median() / 1e9:.4f} / "
+            f"{s.max() / 1e9:.4f} GTEPS",
+            f"  construction:     {fmt_time(self.construction_seconds)} (simulated)",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (for result archiving / plotting)."""
+        import json
+
+        s = self.stats
+        return json.dumps(
+            {
+                "scale": self.spec.scale,
+                "edge_factor": self.spec.edge_factor,
+                "nodes": self.nodes,
+                "variant": self.variant,
+                "gteps_harmonic_mean": s.gteps(),
+                "gteps_min": s.min() / 1e9,
+                "gteps_max": s.max() / 1e9,
+                "all_validated": self.all_validated,
+                "construction_seconds": self.construction_seconds,
+                "extra": self.extra,
+                "runs": [
+                    {
+                        "root": r.root,
+                        "traversed_edges": int(r.traversed_edges),
+                        "seconds": r.seconds,
+                        "levels": r.levels,
+                        "validated": r.validated,
+                    }
+                    for r in self.runs
+                ],
+            }
+        )
+
+    def per_root_table(self) -> str:
+        t = Table(["root", "edges", "levels", "sim time", "GTEPS", "valid"])
+        for r in self.runs:
+            t.add_row(
+                [
+                    r.root,
+                    fmt_count(r.traversed_edges),
+                    r.levels,
+                    fmt_time(r.seconds),
+                    f"{r.teps / 1e9:.4f}",
+                    "yes" if r.validated else "NO",
+                ]
+            )
+        return t.render()

@@ -1,0 +1,36 @@
+"""Search-root sampling.
+
+The spec requires 64 distinct roots sampled uniformly from vertices that
+have at least one edge (self loops excluded — a root whose only edge is a
+self loop would traverse nothing). We sample deterministically from the
+experiment's master seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+from repro.sim.rng import substream
+
+
+def nontrivial_vertices(edges: EdgeList) -> np.ndarray:
+    """Vertices with at least one non-loop edge."""
+    no_loops = edges.without_self_loops()
+    mask = np.zeros(edges.num_vertices, dtype=bool)
+    mask[no_loops.src] = True
+    mask[no_loops.dst] = True
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def sample_roots(edges: EdgeList, num_roots: int, seed: int = 1) -> np.ndarray:
+    """Distinct non-trivial roots (fewer if the graph can't supply enough)."""
+    if num_roots < 1:
+        raise ConfigError(f"need at least one root, got {num_roots}")
+    candidates = nontrivial_vertices(edges)
+    if len(candidates) == 0:
+        raise ConfigError("graph has no non-trivial vertices to root a BFS at")
+    rng = substream(seed, "roots", num_roots)
+    k = min(num_roots, len(candidates))
+    return np.sort(rng.choice(candidates, size=k, replace=False))

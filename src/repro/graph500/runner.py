@@ -1,0 +1,119 @@
+"""End-to-end Graph500 benchmark runner over the simulated machine.
+
+Steps (Section 2.3): generate -> sample roots -> construct -> run kernel per
+root -> validate -> report. Wall-clock time is irrelevant here; *simulated*
+seconds from the machine/network models produce the TEPS figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.kronecker import KroneckerGenerator
+from repro.graph500.report import BenchmarkReport, RootRun
+from repro.graph500.roots import sample_roots
+from repro.graph500.spec import Graph500Spec
+from repro.graph500.timing import traversed_edges
+from repro.graph500.validate import validate_bfs_result
+
+
+class Graph500Runner:
+    """Configure once, ``run()`` to get a :class:`BenchmarkReport`."""
+
+    def __init__(
+        self,
+        scale: int,
+        nodes: int,
+        edge_factor: int = 16,
+        seed: int = 1,
+        variant: str = "relay-cpe",
+        config=None,
+        nodes_per_super_node: int | None = None,
+        validate: bool | str = "sequential",
+    ):
+        if nodes < 1:
+            raise ConfigError(f"need at least one simulated node, got {nodes}")
+        self.spec = Graph500Spec(scale=scale, edge_factor=edge_factor)
+        self.nodes = nodes
+        self.seed = seed
+        self.variant = variant
+        self.config = config
+        self.nodes_per_super_node = nodes_per_super_node
+        if validate is True:
+            validate = "sequential"
+        elif validate is False:
+            validate = "none"
+        if validate not in ("sequential", "distributed", "none"):
+            raise ConfigError(
+                f"validate must be sequential/distributed/none, got {validate!r}"
+            )
+        self.validate = validate
+
+    def run(self, num_roots: int = 64) -> BenchmarkReport:
+        # Step 1: generate the raw edge list.
+        gen = KroneckerGenerator(
+            self.spec.scale, self.spec.edge_factor, seed=self.seed
+        )
+        edges = gen.generate()
+
+        # Step 2: sample non-trivial search roots.
+        roots = sample_roots(edges, num_roots, seed=self.seed)
+
+        # Step 3: construct search structures — the global CSR for
+        # validation and the distributed kernel state.
+        graph = CSRGraph.from_edges(edges)
+        from repro.baselines import make_variant  # late: heavy import chain
+
+        bfs = make_variant(
+            self.variant,
+            edges,
+            self.nodes,
+            config=self.config,
+            nodes_per_super_node=self.nodes_per_super_node,
+        )
+
+        report = BenchmarkReport(
+            spec=self.spec,
+            nodes=self.nodes,
+            variant=self.variant,
+            construction_seconds=bfs.construction_seconds,
+        )
+        validator = None
+        if self.validate == "distributed":
+            from repro.graph500.distributed_validate import DistributedValidator
+
+            validator = DistributedValidator(
+                edges,
+                self.nodes,
+                config=bfs.config,
+                nodes_per_super_node=self.nodes_per_super_node,
+            )
+
+        # Steps 4-5: kernel + validation per root.
+        for root in np.asarray(roots):
+            result = bfs.run(int(root))
+            validated = True
+            if self.validate == "sequential":
+                try:
+                    validate_bfs_result(graph, edges, int(root), result.parent)
+                except ValidationError:
+                    validated = False
+                    raise
+            elif validator is not None:
+                vres = validator.validate(int(root), result.parent)
+                report.extra["validation_seconds"] = (
+                    report.extra.get("validation_seconds", 0.0) + vres.sim_seconds
+                )
+            edges_traversed = traversed_edges(edges, result.depths())
+            report.runs.append(
+                RootRun(
+                    root=int(root),
+                    traversed_edges=edges_traversed,
+                    seconds=result.sim_seconds,
+                    levels=result.levels,
+                    validated=validated,
+                )
+            )
+        return report

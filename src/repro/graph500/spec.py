@@ -1,0 +1,46 @@
+"""Benchmark constants from the Graph500 specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.graph.kronecker import DEFAULT_EDGE_FACTOR, INITIATOR
+
+
+@dataclass(frozen=True)
+class Graph500Spec:
+    """Parameters of one benchmark problem."""
+
+    scale: int
+    edge_factor: int = DEFAULT_EDGE_FACTOR
+    num_roots: int = 64
+    initiator: tuple[float, float, float, float] = INITIATOR
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ConfigError(f"scale must be >= 1, got {self.scale}")
+        if self.num_roots < 1:
+            raise ConfigError(f"need at least one root, got {self.num_roots}")
+
+    @property
+    def num_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_factor << self.scale
+
+    def problem_class(self) -> str:
+        """The spec's named problem classes by scale (toy..huge)."""
+        for name, s in (
+            ("toy", 26),
+            ("mini", 29),
+            ("small", 32),
+            ("medium", 36),
+            ("large", 39),
+            ("huge", 42),
+        ):
+            if self.scale <= s:
+                return name
+        return "beyond-huge"

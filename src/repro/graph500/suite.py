@@ -1,0 +1,86 @@
+"""Benchmark suite runner: matrices of (scale, nodes, variant).
+
+Convenience layer over :class:`~repro.graph500.runner.Graph500Runner` for
+sweeps — functional weak/strong scaling studies and variant comparisons —
+with a combined report table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError, SimulatedCrash
+from repro.graph500.report import BenchmarkReport
+from repro.graph500.runner import Graph500Runner
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    scale: int
+    nodes: int
+    variant: str = "relay-cpe"
+
+
+@dataclass
+class SuiteResult:
+    case: SuiteCase
+    report: BenchmarkReport | None
+    crashed: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+
+@dataclass
+class BenchmarkSuite:
+    """Run cases sequentially; crashes become rows, not exceptions."""
+
+    cases: Sequence[SuiteCase]
+    num_roots: int = 4
+    seed: int = 1
+    config: BFSConfig | None = None
+    nodes_per_super_node: int | None = None
+    results: list[SuiteResult] = field(default_factory=list)
+
+    def run(self) -> list[SuiteResult]:
+        if not self.cases:
+            raise ConfigError("empty suite")
+        self.results = []
+        for case in self.cases:
+            try:
+                report = Graph500Runner(
+                    scale=case.scale,
+                    nodes=case.nodes,
+                    seed=self.seed,
+                    variant=case.variant,
+                    config=self.config,
+                    nodes_per_super_node=self.nodes_per_super_node,
+                ).run(num_roots=self.num_roots)
+                self.results.append(SuiteResult(case, report))
+            except SimulatedCrash as crash:
+                self.results.append(SuiteResult(case, None, crashed=crash.reason))
+        return self.results
+
+    def table(self) -> str:
+        t = Table(
+            ["scale", "nodes", "variant", "GTEPS (hm)", "worst root", "status"],
+            title="Benchmark suite",
+        )
+        for r in self.results:
+            if r.ok:
+                stats = r.report.stats
+                t.add_row(
+                    [r.case.scale, r.case.nodes, r.case.variant,
+                     f"{stats.gteps():.4f}", f"{stats.min() / 1e9:.4f}",
+                     "ok" if r.report.all_validated else "INVALID"]
+                )
+            else:
+                t.add_row(
+                    [r.case.scale, r.case.nodes, r.case.variant, "-", "-",
+                     f"CRASH: {r.crashed}"]
+                )
+        return t.render()

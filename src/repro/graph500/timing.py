@@ -1,0 +1,75 @@
+"""TEPS accounting (benchmark step 6).
+
+For each root, the traversed-edge count is the number of *input edge
+tuples* whose endpoints both lie in the traversed component — multiplicity
+and self-loops included, per the spec. The headline statistic over the 64
+roots is the **harmonic mean** of per-root TEPS (equivalently: total edges
+over total... no — the spec's estimator), with the harmonic standard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+
+
+def traversed_edges(edges: EdgeList, depth: np.ndarray) -> int:
+    """Input tuples inside the traversed component (the TEPS numerator)."""
+    depth = np.asarray(depth)
+    if depth.shape != (edges.num_vertices,):
+        raise ConfigError("depth array must have one entry per vertex")
+    return edges.edges_within(depth >= 0)
+
+
+@dataclass(frozen=True)
+class TepsStatistics:
+    """Spec-style summary over per-root (edges, seconds) samples."""
+
+    teps: np.ndarray  # per-root traversed edges per second
+
+    @classmethod
+    def from_runs(cls, edges_per_run, seconds_per_run) -> "TepsStatistics":
+        e = np.asarray(edges_per_run, dtype=np.float64)
+        t = np.asarray(seconds_per_run, dtype=np.float64)
+        if e.shape != t.shape or e.ndim != 1 or len(e) == 0:
+            raise ConfigError("need equal-length non-empty runs")
+        if np.any(t <= 0) or np.any(e < 0):
+            raise ConfigError("non-positive time or negative edge count")
+        return cls(e / t)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.teps)
+
+    def harmonic_mean(self) -> float:
+        """The Graph500 headline number."""
+        return float(len(self.teps) / np.sum(1.0 / self.teps))
+
+    def harmonic_stddev(self) -> float:
+        """Standard deviation of the harmonic mean (the spec's estimator).
+
+        Computed on the reciprocals: hm * stderr(1/x) / mean(1/x), the
+        classical delta-method estimate the reference code uses.
+        """
+        if len(self.teps) < 2:
+            return 0.0
+        inv = 1.0 / self.teps
+        hm = self.harmonic_mean()
+        stderr = np.std(inv, ddof=1) / np.sqrt(len(inv))
+        return float(hm * hm * stderr)
+
+    def min(self) -> float:
+        return float(self.teps.min())
+
+    def max(self) -> float:
+        return float(self.teps.max())
+
+    def median(self) -> float:
+        return float(np.median(self.teps))
+
+    def gteps(self) -> float:
+        return self.harmonic_mean() / 1e9

@@ -1,0 +1,52 @@
+"""Cost model for main-memory atomics on the SW26010.
+
+Section 3.1: CPEs support **only atomic increment** in main memory, and
+"it is inefficient to only use the atomic increase operation to implement
+other atomic functions such as compare-and-swap". This model prices a
+lock-based shuffle alternative so the ablation benchmark can show why the
+paper rejected it (its performance was below even the plain MPE version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+
+
+@dataclass(frozen=True)
+class AtomicsModel:
+    spec: MachineSpec = TAIHULIGHT
+    #: Main-memory atomics are uncached read-modify-writes over the NoC:
+    #: roughly two memory latencies each, fully serialised per location.
+    latencies_per_op: float = 2.0
+
+    def atomic_increment_time(self) -> float:
+        return self.latencies_per_op * self.spec.core_group.mpe.memory_latency
+
+    def contended_increments_time(self, n_ops: int, n_locations: int = 1) -> float:
+        """Time for ``n_ops`` increments spread over ``n_locations`` counters.
+
+        Operations to the same location serialise; distinct locations proceed
+        in parallel (bounded below by one op's latency).
+        """
+        if n_ops < 0 or n_locations <= 0:
+            raise ConfigError(f"bad atomics workload: ops={n_ops} locs={n_locations}")
+        if n_ops == 0:
+            return 0.0
+        per_location = -(-n_ops // n_locations)  # ceil
+        return per_location * self.atomic_increment_time()
+
+    def emulated_cas_time(self) -> float:
+        """A compare-and-swap emulated from increments: several round trips."""
+        return 3 * self.atomic_increment_time()
+
+    def lock_based_append_time(self, n_records: int, n_buffers: int) -> float:
+        """Price of the rejected design: CPEs appending to shared send buffers
+        guarded by emulated locks — one lock acquire/release per record."""
+        if n_records == 0:
+            return 0.0
+        per_record = self.emulated_cas_time() + self.atomic_increment_time()
+        per_buffer = -(-n_records // max(1, n_buffers))
+        return per_buffer * per_record

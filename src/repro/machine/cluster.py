@@ -1,0 +1,101 @@
+"""CPE cluster timing model.
+
+A cluster is 64 CPEs on the register mesh plus a DMA engine into main
+memory. For the BFS it runs in one of two shapes:
+
+- **partitioned** (dispose modules, e.g. Forward Handler): the input is
+  split across CPEs, each streams its slice via DMA — bandwidth-bound at
+  the Figure 3 curve;
+- **shuffling** (reaction modules): producers read, routers shuffle over
+  the register mesh, consumers write per-destination batches — the
+  contention-free data shuffle of Section 4.3.
+
+Steady-state shuffle throughput is limited by whichever is smallest: the
+producer-side DMA share, the consumer-side DMA share, or half the cluster's
+peak DMA bandwidth (the engine carries reads *and* writes), derated by a
+pipeline efficiency calibrated to the paper's measurement: "we achieve
+10 GB/s register to register bandwidth out of a theoretical 14.5 GB/s".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.machine.dma import DmaModel
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+from repro.utils.units import GBPS
+
+#: Paper-measured steady-state shuffle bandwidth (Section 4.3).
+MEASURED_SHUFFLE_BANDWIDTH = 10.0 * GBPS
+#: Theoretical bound quoted next to it: half of the 28.9 GB/s DMA peak.
+THEORETICAL_SHUFFLE_BANDWIDTH = 28.9 * GBPS / 2
+#: Pipeline efficiency implied by the two numbers above (~0.69): register
+#: synchronisation bubbles and imperfect read/write overlap.
+SHUFFLE_PIPELINE_EFFICIENCY = MEASURED_SHUFFLE_BANDWIDTH / THEORETICAL_SHUFFLE_BANDWIDTH
+
+#: CPE cycles to inspect/steer one record through the shuffle (comparison,
+#: bucket select, register send) — small, deliberately non-binding next to DMA.
+RECORD_PROCESS_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class CpeCluster:
+    """Timing helpers for work executed on one CPE cluster."""
+
+    spec: MachineSpec = TAIHULIGHT
+    dma: DmaModel = field(default_factory=DmaModel)
+
+    # -- partitioned (dispose) work ------------------------------------------
+    def partitioned_time(
+        self, nbytes: float, chunk_bytes: int = 256, n_cpes: int = 64
+    ) -> float:
+        """Streaming ``nbytes`` split across ``n_cpes`` CPEs (DMA bound)."""
+        return self.dma.cluster_transfer_time(nbytes, chunk_bytes, n_cpes)
+
+    # -- shuffling (reaction) work ---------------------------------------------
+    def shuffle_bandwidth(
+        self,
+        n_producers: int = 32,
+        n_consumers: int = 16,
+        efficiency: float = SHUFFLE_PIPELINE_EFFICIENCY,
+    ) -> float:
+        """Steady-state bytes/second through a producer/router/consumer shuffle."""
+        cg = self.spec.core_group
+        if n_producers <= 0 or n_consumers <= 0:
+            raise ConfigError("shuffle needs at least one producer and one consumer")
+        if n_producers + n_consumers > cg.cpes_per_cluster:
+            raise ConfigError(
+                f"{n_producers} producers + {n_consumers} consumers exceed "
+                f"{cg.cpes_per_cluster} CPEs"
+            )
+        read_side = n_producers * cg.cpe.dma_bandwidth
+        write_side = n_consumers * cg.cpe.dma_bandwidth
+        engine_side = cg.cluster_dma_bandwidth / 2  # reads + writes share the engine
+        return efficiency * min(read_side, write_side, engine_side)
+
+    def shuffle_time(
+        self,
+        nbytes: float,
+        n_producers: int = 32,
+        n_consumers: int = 16,
+        record_bytes: int = 8,
+    ) -> float:
+        """Seconds for a reaction module to shuffle ``nbytes`` of records."""
+        if nbytes < 0:
+            raise ConfigError(f"negative shuffle size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        cg = self.spec.core_group
+        bw = self.shuffle_bandwidth(n_producers, n_consumers)
+        records = nbytes / max(1, record_bytes)
+        compute = (
+            records
+            * RECORD_PROCESS_CYCLES
+            / (n_producers * cg.cpe.frequency_hz)
+        )
+        return max(nbytes / bw, compute)
+
+    def module_startup_time(self) -> float:
+        """Fixed cost to kick a module into a cluster (flag poll + broadcast)."""
+        return 4 * self.spec.core_group.mpe.memory_latency

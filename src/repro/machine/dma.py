@@ -1,0 +1,88 @@
+"""DMA bandwidth model for CPE clusters and MPE memory access.
+
+Reproduces the two micro-benchmarks the paper bases its design on:
+
+- **Figure 3** — cluster DMA bandwidth vs chunk size: saturates at 28.9 GB/s
+  for chunks >= 256 B, degrades sharply below that ("a CPE cluster can get
+  the desired bandwidth with a chunk size equal to or larger than 256
+  Bytes... 10 times faster than the MPE").
+- **Figure 5** — bandwidth vs number of participating CPEs at 256 B chunks:
+  each CPE contributes ~2.4 GB/s up to the cluster cap, so "16 CPEs can
+  generate an acceptable memory access bandwidth".
+
+The model is a documented fit, not a cycle simulation: below the saturation
+chunk, effective bandwidth follows ``peak * (chunk/256)**gamma`` (gamma from
+the spec); above, it is flat at the peak. MPE bandwidth uses the same shape
+with a 9.4 GB/s peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """Effective-bandwidth calculator bound to a machine spec."""
+
+    spec: MachineSpec = TAIHULIGHT
+
+    # -- cluster (CPE-side) ---------------------------------------------------
+    def cluster_bandwidth(self, chunk_bytes: int, n_cpes: int = 64) -> float:
+        """Aggregate DMA bandwidth of ``n_cpes`` CPEs using ``chunk_bytes`` chunks."""
+        cg = self.spec.core_group
+        if chunk_bytes <= 0:
+            raise ConfigError(f"chunk must be positive, got {chunk_bytes}")
+        if not 1 <= n_cpes <= cg.cpes_per_cluster:
+            raise ConfigError(
+                f"n_cpes must be in [1, {cg.cpes_per_cluster}], got {n_cpes}"
+            )
+        peak = min(cg.cluster_dma_bandwidth, n_cpes * cg.cpe.dma_bandwidth)
+        if chunk_bytes >= cg.dma_saturation_chunk:
+            return peak
+        return peak * (chunk_bytes / cg.dma_saturation_chunk) ** cg.dma_chunk_exponent
+
+    def cluster_transfer_time(
+        self, nbytes: float, chunk_bytes: int = 256, n_cpes: int = 64
+    ) -> float:
+        """Seconds for a cluster to move ``nbytes`` to/from main memory."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.cluster_bandwidth(chunk_bytes, n_cpes)
+
+    # -- MPE side --------------------------------------------------------------
+    def mpe_bandwidth(self, chunk_bytes: int = 256) -> float:
+        """Sustained MPE main-memory bandwidth for ``chunk_bytes`` accesses."""
+        cg = self.spec.core_group
+        if chunk_bytes <= 0:
+            raise ConfigError(f"chunk must be positive, got {chunk_bytes}")
+        peak = cg.mpe.memory_bandwidth
+        if chunk_bytes >= cg.dma_saturation_chunk:
+            return peak
+        return peak * (chunk_bytes / cg.dma_saturation_chunk) ** cg.dma_chunk_exponent
+
+    def mpe_transfer_time(self, nbytes: float, chunk_bytes: int = 256) -> float:
+        """Seconds for an MPE to stream ``nbytes`` through main memory."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.mpe_bandwidth(chunk_bytes)
+
+    # -- derived quantities the paper quotes ------------------------------------
+    def cpe_to_mpe_speedup(self, chunk_bytes: int = 256) -> float:
+        """The "10 times faster than the MPE" ratio under identical chunks."""
+        return self.cluster_bandwidth(chunk_bytes) / self.mpe_bandwidth(chunk_bytes)
+
+    def saturating_cpe_count(self, chunk_bytes: int = 256, fraction: float = 0.95) -> int:
+        """Fewest CPEs reaching ``fraction`` of the saturated cluster bandwidth."""
+        target = fraction * self.cluster_bandwidth(chunk_bytes, 64)
+        for n in range(1, self.spec.core_group.cpes_per_cluster + 1):
+            if self.cluster_bandwidth(chunk_bytes, n) >= target:
+                return n
+        return self.spec.core_group.cpes_per_cluster

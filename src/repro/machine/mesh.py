@@ -1,0 +1,242 @@
+"""The 8x8 CPE register-communication mesh.
+
+Section 3.1: CPEs in one cluster sit on an 8x8 mesh; register communication
+is *only* possible between CPEs in the same row or the same column, is
+synchronous, moves up to 256 bits (32 B) per cycle, and has **no hardware
+deadlock avoidance** — "the random access nature of BFS makes it easy to
+cause a deadlock in the register communication once the messaging route
+includes a cycle".
+
+This module provides:
+
+- :class:`MeshTopology` — coordinates and legality of register channels;
+- :class:`Route` — a multi-hop path through the mesh with direction labels;
+- :func:`check_deadlock_free` — the channel-dependency-graph test (Dally &
+  Seitz): a set of routes is deadlock-free iff the graph whose nodes are
+  directed channels and whose edges connect consecutive hops of any route is
+  acyclic;
+- :class:`RegisterMesh` — a cycle-stepped transfer simulator used by the
+  register-bandwidth micro-benchmark and the shuffle tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigError, DeadlockError
+
+Pos = tuple[int, int]  # (row, col)
+Channel = tuple[Pos, Pos]  # directed register channel
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """Geometry of one CPE cluster's register mesh."""
+
+    rows: int = 8
+    cols: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError(f"bad mesh shape {self.rows}x{self.cols}")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def positions(self) -> list[Pos]:
+        return [(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def contains(self, pos: Pos) -> bool:
+        r, c = pos
+        return 0 <= r < self.rows and 0 <= c < self.cols
+
+    def channel_allowed(self, src: Pos, dst: Pos) -> bool:
+        """Register channels exist only between distinct same-row/col CPEs."""
+        if not (self.contains(src) and self.contains(dst)) or src == dst:
+            return False
+        return src[0] == dst[0] or src[1] == dst[1]
+
+    def direction(self, src: Pos, dst: Pos) -> str:
+        """Compass direction of a legal channel: E/W along rows, S/N along columns."""
+        if not self.channel_allowed(src, dst):
+            raise ConfigError(f"no register channel {src} -> {dst}")
+        if src[0] == dst[0]:
+            return "E" if dst[1] > src[1] else "W"
+        return "S" if dst[0] > src[0] else "N"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A path through the mesh as a sequence of CPE positions."""
+
+    stops: tuple[Pos, ...]
+
+    @classmethod
+    def through(cls, *stops: Pos) -> "Route":
+        return cls(tuple(stops))
+
+    def __post_init__(self) -> None:
+        if len(self.stops) < 2:
+            raise ConfigError("a route needs at least a source and a destination")
+
+    @property
+    def source(self) -> Pos:
+        return self.stops[0]
+
+    @property
+    def destination(self) -> Pos:
+        return self.stops[-1]
+
+    def channels(self, mesh: MeshTopology) -> list[Channel]:
+        chans: list[Channel] = []
+        for a, b in zip(self.stops, self.stops[1:]):
+            if not mesh.channel_allowed(a, b):
+                raise ConfigError(f"illegal hop {a} -> {b} (not same row/column)")
+            chans.append((a, b))
+        return chans
+
+    def hop_count(self) -> int:
+        return len(self.stops) - 1
+
+
+def check_deadlock_free(
+    routes: Iterable[Route], mesh: MeshTopology | None = None, raise_on_cycle: bool = True
+) -> bool:
+    """Channel-dependency-graph deadlock test over a set of routes.
+
+    With synchronous register messaging, a packet occupying channel ``c_i``
+    of its route waits for channel ``c_{i+1}``; if those waits-for edges form
+    a cycle, an arbitrary traffic pattern can deadlock. The producer/router/
+    consumer role schema of Section 4.3 is engineered to make this graph
+    acyclic ("a deadlock situation cannot arise if there is no circular wait
+    in the system").
+    """
+    mesh = mesh or MeshTopology()
+    edges: dict[Channel, set[Channel]] = {}
+    for route in routes:
+        chans = route.channels(mesh)
+        for a, b in zip(chans, chans[1:]):
+            edges.setdefault(a, set()).add(b)
+            edges.setdefault(b, set())
+        for c in chans:
+            edges.setdefault(c, set())
+
+    # Iterative three-colour DFS for a cycle.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {c: WHITE for c in edges}
+    for start in edges:
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[Channel, Iterable[Channel]]] = [(start, iter(edges[start]))]
+        colour[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if colour[nxt] == GREY:
+                    if raise_on_cycle:
+                        raise DeadlockError(
+                            f"circular channel wait involving {node} -> {nxt}"
+                        )
+                    return False
+                if colour[nxt] == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(edges[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return True
+
+
+class RegisterMesh:
+    """Cycle-stepped simulator of register transfers on the mesh.
+
+    Model: each cycle a CPE can inject at most one 32 B packet into one of
+    its outgoing channels and accept at most one incoming packet (the paper:
+    256-bit transfers, no conflicts *between* distinct pairs — the port at a
+    single CPE is still serial). Intermediate stops buffer packets in a small
+    forwarding queue. The simulator is deterministic: flows advance in
+    round-robin order by flow id.
+
+    Used for the Section 4.3 micro-benchmark ("10 GB/s register to register
+    bandwidth") and for validating that role-based shuffles make progress.
+    """
+
+    PACKET_BYTES = 32
+
+    def __init__(
+        self,
+        mesh: MeshTopology | None = None,
+        frequency_hz: float = 1.45e9,
+        queue_capacity: int = 4,
+    ):
+        self.mesh = mesh or MeshTopology()
+        self.frequency_hz = frequency_hz
+        self.queue_capacity = queue_capacity
+
+    def simulate(self, flows: Sequence[tuple[Route, int]], max_cycles: int = 10_000_000):
+        """Run flows to completion; returns (cycles, delivered_bytes_per_flow).
+
+        Each flow is ``(route, nbytes)``; bytes are split into 32 B packets.
+        Routes are validated for deadlock-freedom first, which licenses the
+        simulator's simplifying assumption that forwarding queues drain.
+        """
+        check_deadlock_free([r for r, _ in flows], self.mesh)
+        # Per-flow state: packets waiting at each stop index.
+        npackets = [max(0, -(-n // self.PACKET_BYTES)) for _, n in flows]
+        waiting: list[list[int]] = []  # waiting[f][stop_idx] = packets queued
+        for (route, _), k in zip(flows, npackets):
+            q = [0] * len(route.stops)
+            q[0] = k
+            waiting.append(q)
+        delivered = [0] * len(flows)
+        total = sum(npackets)
+        done = 0
+        cycles = 0
+        order = list(range(len(flows)))
+        while done < total:
+            if cycles >= max_cycles:
+                raise DeadlockError(
+                    f"register mesh made no progress within {max_cycles} cycles"
+                )
+            cycles += 1
+            sends_used: set[Pos] = set()
+            recvs_used: set[Pos] = set()
+            moved = False
+            for f in order:
+                route = flows[f][0]
+                stops = route.stops
+                # Move at most one packet per hop per cycle, farthest hop first
+                # so a pipeline drains front-to-back.
+                for i in range(len(stops) - 2, -1, -1):
+                    if waiting[f][i] == 0:
+                        continue
+                    src, dst = stops[i], stops[i + 1]
+                    if src in sends_used or dst in recvs_used:
+                        continue
+                    is_last = i + 1 == len(stops) - 1
+                    if not is_last and waiting[f][i + 1] >= self.queue_capacity:
+                        continue
+                    waiting[f][i] -= 1
+                    waiting[f][i + 1] += 1
+                    sends_used.add(src)
+                    recvs_used.add(dst)
+                    moved = True
+                    if is_last:
+                        delivered[f] += 1
+                        done += 1
+            if not moved and done < total:
+                raise DeadlockError("register mesh stalled with packets in flight")
+        return cycles, [d * self.PACKET_BYTES for d in delivered]
+
+    def throughput(self, flows: Sequence[tuple[Route, int]]) -> float:
+        """Aggregate delivered bytes/second over a simulated flow set."""
+        cycles, delivered = self.simulate(flows)
+        if cycles == 0:
+            return 0.0
+        return sum(delivered) * self.frequency_hz / cycles

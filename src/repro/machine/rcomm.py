@@ -1,0 +1,88 @@
+"""Register-communication primitives with cycle costs.
+
+Section 3.1: "CPEs in the same row or column can communicate to each other
+using a fast register communication, which has very low communication
+latency. In one cycle, the register communication can support up to
+256-bit communication between two CPEs in the same row or column."
+
+These primitives price the intra-cluster control patterns the paper
+describes — point-to-point transfers, row/column broadcasts, and the
+MPE-notification fan-out of Section 4.2 ("the representative CPE gets the
+notification in memory and broadcasts the flag to all other CPEs") — and
+enforce the same-row/column legality rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.mesh import MeshTopology, Pos
+
+#: Cycles of synchronisation handshake per register message (producer and
+#: consumer must rendezvous — the "synchronous explicit messaging").
+SYNC_CYCLES = 4
+#: Payload moved per cycle per channel (256 bits).
+BYTES_PER_CYCLE = 32
+
+
+@dataclass(frozen=True)
+class RegisterComm:
+    """Cycle/time calculator for register-bus operations on one cluster."""
+
+    mesh: MeshTopology = MeshTopology()
+    frequency_hz: float = 1.45e9
+
+    # ------------------------------------------------------------- primitives --
+    def send_cycles(self, src: Pos, dst: Pos, nbytes: int) -> int:
+        """Point-to-point transfer between same-row/column CPEs."""
+        if not self.mesh.channel_allowed(src, dst):
+            raise ConfigError(f"no register channel {src} -> {dst}")
+        if nbytes < 0:
+            raise ConfigError(f"negative payload: {nbytes}")
+        return SYNC_CYCLES + -(-nbytes // BYTES_PER_CYCLE)
+
+    def row_broadcast_cycles(self, src: Pos, nbytes: int) -> int:
+        """One CPE to every peer in its row.
+
+        The register bus carries distinct pairs without conflicts, but one
+        sender's port is serial: cols-1 back-to-back sends whose sync
+        phases overlap after the first (pipelined handshakes).
+        """
+        self.mesh.contains(src) or self._bad(src)
+        peers = self.mesh.cols - 1
+        payload = -(-nbytes // BYTES_PER_CYCLE)
+        return SYNC_CYCLES + peers * payload
+
+    def column_broadcast_cycles(self, src: Pos, nbytes: int) -> int:
+        self.mesh.contains(src) or self._bad(src)
+        peers = self.mesh.rows - 1
+        payload = -(-nbytes // BYTES_PER_CYCLE)
+        return SYNC_CYCLES + peers * payload
+
+    def cluster_broadcast_cycles(self, representative: Pos, nbytes: int) -> int:
+        """The Section 4.2 notification fan-out: the representative CPE
+        broadcasts along its row, then every row member broadcasts down its
+        column — two pipelined phases reach all 64 CPEs."""
+        return self.row_broadcast_cycles(representative, nbytes) + \
+            self.column_broadcast_cycles(representative, nbytes)
+
+    # ------------------------------------------------------------------ times --
+    def seconds(self, cycles: int) -> float:
+        return cycles / self.frequency_hz
+
+    def send_time(self, src: Pos, dst: Pos, nbytes: int) -> float:
+        return self.seconds(self.send_cycles(src, dst, nbytes))
+
+    def cluster_broadcast_time(self, nbytes: int = 8,
+                               representative: Pos = (0, 0)) -> float:
+        return self.seconds(self.cluster_broadcast_cycles(representative, nbytes))
+
+    # ------------------------------------------------------------- diagnostics --
+    def peak_pair_bandwidth(self) -> float:
+        """One channel's 256-bit-per-cycle ceiling (46.4 GB/s at 1.45 GHz)."""
+        return BYTES_PER_CYCLE * self.frequency_hz
+
+    @staticmethod
+    def _bad(pos: Pos) -> None:
+        raise ConfigError(f"position {pos} outside the mesh")

@@ -1,0 +1,168 @@
+"""Hardware specifications (Table 1) and calibrated performance constants.
+
+Two kinds of numbers live here:
+
+1. **Published specifications** straight from the paper / Table 1
+   (frequencies, SPM size, memory sizes, topology counts).
+2. **Calibrated model constants** — parameters of the simple analytic models
+   we fit so that the micro-benchmarks reproduce the paper's measurements
+   (28.9 GB/s cluster DMA at >=256 B chunks, 9.4 GB/s MPE bandwidth,
+   saturation at ~16 CPEs, ~10 GB/s register-shuffle throughput, 10 us
+   interrupt latency). Each constant documents which measurement pins it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import GBPS, GiB, KiB, MiB, US, NS
+
+
+@dataclass(frozen=True)
+class MpeSpec:
+    """Management Processing Element (one per core group)."""
+
+    frequency_hz: float = 1.45e9
+    l1d_bytes: int = 32 * KiB
+    l1i_bytes: int = 32 * KiB
+    l2_bytes: int = 256 * KiB
+    #: Max sustained main-memory bandwidth with 256 B batches (Section 3.2).
+    memory_bandwidth: float = 9.4 * GBPS
+    #: System-interrupt latency — "about 10 us, ten times Intel's" (Section 3.1).
+    interrupt_latency: float = 10 * US
+    #: Main-memory access latency ("around one hundred cycles", Section 3.1).
+    memory_latency: float = 100 / 1.45e9
+
+
+@dataclass(frozen=True)
+class CpeSpec:
+    """Computing Processing Element (64 per cluster)."""
+
+    frequency_hz: float = 1.45e9
+    spm_bytes: int = 64 * KiB
+    l1i_bytes: int = 16 * KiB
+    #: Per-CPE share of DMA bandwidth; calibrated so that ~>=13 CPEs saturate
+    #: the cluster's 28.9 GB/s, matching Figure 5's "16 CPEs are enough".
+    dma_bandwidth: float = 2.4 * GBPS
+    #: Register bus moves up to 256 bits per cycle between row/column peers
+    #: with no inter-pair conflicts (Section 3.1).
+    register_bus_bytes_per_cycle: int = 32
+
+
+@dataclass(frozen=True)
+class CoreGroupSpec:
+    """One core group: 1 MPE + 64 CPEs + 1 memory controller + 8 GB DRAM."""
+
+    mpe: MpeSpec = field(default_factory=MpeSpec)
+    cpe: CpeSpec = field(default_factory=CpeSpec)
+    cpes_per_cluster: int = 64
+    mesh_rows: int = 8
+    mesh_cols: int = 8
+    dram_bytes: int = 8 * GiB
+    #: Peak cluster DMA bandwidth at saturating chunk size (Figure 3).
+    cluster_dma_bandwidth: float = 28.9 * GBPS
+    #: Chunk size at which cluster DMA saturates (Figure 3).
+    dma_saturation_chunk: int = 256
+    #: Shape exponent of the sub-saturation bandwidth curve in Figure 3
+    #: (bandwidth ~ (chunk/256)^gamma below 256 B). Calibrated to give the
+    #: order-of-magnitude gap between 8 B and 256 B transfers the figure shows.
+    dma_chunk_exponent: float = 0.7
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One TaihuLight node: one SW26010 CPU (4 core groups) + 32 GB memory."""
+
+    core_group: CoreGroupSpec = field(default_factory=CoreGroupSpec)
+    core_groups: int = 4
+    memory_bytes: int = 32 * GiB
+    #: Memory an MPI connection pins per peer (Section 3.3: "every connection
+    #: uses 100 KB memory due to the MPI library").
+    mpi_connection_bytes: int = 100_000
+    #: Budget the runtime may spend on MPI connection state before the node
+    #: dies of memory exhaustion. Calibrated so that ~4,096 direct
+    #: connections survive (~0.4 GB) but 16,384 (~1.6 GB) crash, matching
+    #: Figure 11's Direct-MPE failure point.
+    mpi_memory_budget: int = 1 * GiB
+
+    @property
+    def total_cpes(self) -> int:
+        return self.core_groups * self.core_group.cpes_per_cluster
+
+    @property
+    def total_cores(self) -> int:
+        return self.core_groups * (1 + self.core_group.cpes_per_cluster)
+
+
+@dataclass(frozen=True)
+class TaihuLightSpec:
+    """The full machine (Table 1): 40 cabinets = 40,960 nodes."""
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    nodes_per_super_node: int = 256
+    super_nodes_per_cabinet: int = 4
+    cabinets: int = 40
+    #: FDR InfiniBand NIC: 56 Gbps signalling = 7 GB/s raw.
+    nic_raw_bandwidth: float = 56e9 / 8
+    #: Effective achievable point-to-point bandwidth per node for large
+    #: messages, as measured by the paper's relay-overhead test (Section 4.4:
+    #: "both achieve an average 1.2 GB/s per node").
+    nic_effective_bandwidth: float = 1.2 * GBPS
+    #: Oversubscription of the central switching network (Section 3.3).
+    central_oversubscription: int = 4
+    #: Message latencies for the alpha-beta cost model; intra-super-node FDR
+    #: InfiniBand is ~1 us class, crossing the central switches adds hops.
+    intra_super_node_latency: float = 1.0 * US
+    inter_super_node_latency: float = 3.0 * US
+    #: Per-message software overhead on the MPE (matching, headers, polling).
+    message_overhead: float = 2.0 * US
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes_per_super_node * self.super_nodes_per_cabinet * self.cabinets
+
+    @property
+    def total_cores(self) -> int:
+        return self.total_nodes * self.node.total_cores
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Bundle used by simulations: the machine plus run-scale parameters."""
+
+    taihulight: TaihuLightSpec = field(default_factory=TaihuLightSpec)
+
+    @property
+    def node(self) -> NodeSpec:
+        return self.taihulight.node
+
+    @property
+    def core_group(self) -> CoreGroupSpec:
+        return self.taihulight.node.core_group
+
+
+#: The default machine: Sunway TaihuLight exactly as published.
+TAIHULIGHT = MachineSpec()
+
+
+def spec_table_rows() -> list[tuple[str, str]]:
+    """Rows of Table 1 as rendered by ``benchmarks/bench_table1_specs.py``."""
+    t = TAIHULIGHT.taihulight
+    n = t.node
+    cg = n.core_group
+    return [
+        ("MPE", "1.45 GHz, 32KB L1 D-Cache, 256KB L2"),
+        ("CPE", "1.45 GHz, 64KB SPM"),
+        ("CG", "1 MPE + 64 CPEs + 1 MC"),
+        ("Node", f"1 CPU ({n.core_groups} CGs) + 4x8GB DDR3 Memory"),
+        ("Super Node", f"{t.nodes_per_super_node} Nodes, FDR 56 Gbps Infiniband"),
+        ("Cabinet", f"{t.super_nodes_per_cabinet} Super Nodes"),
+        ("TaihuLight", f"{t.cabinets} Cabinets"),
+    ]
+
+
+# Consistency guards: the composed machine must equal the published totals.
+assert TAIHULIGHT.taihulight.total_nodes == 40_960
+assert TAIHULIGHT.taihulight.total_cores == 40_960 * 260
+assert abs(TAIHULIGHT.node.core_group.mpe.memory_latency - 69 * NS) < 1 * NS
+assert TAIHULIGHT.node.total_cpes == 256

@@ -1,0 +1,80 @@
+"""Scratch-pad memory (SPM) allocator.
+
+Each CPE owns 64 KB of software-managed SPM. The BFS shuffle carves it into
+per-destination staging buffers; when a buffer layout no longer fits — which
+is exactly what happens to the Direct CPE baseline past 256 nodes — the
+allocation raises :class:`~repro.errors.SpmOverflow` (the paper: "it crashes
+when the scale increases because of the limitation of SPM size on the CPEs").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SpmOverflow
+
+
+class Spm:
+    """A bump allocator over one CPE's scratch-pad memory."""
+
+    def __init__(self, capacity: int = 64 * 1024, owner: str = "cpe"):
+        if capacity <= 0:
+            raise ConfigError(f"SPM capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.owner = owner
+        self._allocations: dict[str, int] = {}
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; raise SpmOverflow if it won't fit."""
+        if nbytes < 0:
+            raise ConfigError(f"negative allocation: {nbytes}")
+        if name in self._allocations:
+            raise ConfigError(f"SPM buffer {name!r} already allocated")
+        if self._used + nbytes > self.capacity:
+            raise SpmOverflow(
+                f"SPM of {self.owner} cannot fit {name!r}: "
+                f"need {nbytes} B, only {self.free} B of {self.capacity} B free"
+            )
+        self._allocations[name] = nbytes
+        self._used += nbytes
+
+    def free_buffer(self, name: str) -> None:
+        try:
+            self._used -= self._allocations.pop(name)
+        except KeyError:
+            raise ConfigError(f"SPM buffer {name!r} was never allocated") from None
+
+    def reset(self) -> None:
+        self._allocations.clear()
+        self._used = 0
+
+    def layout(self) -> dict[str, int]:
+        """Current named allocations (for diagnostics and tests)."""
+        return dict(self._allocations)
+
+
+def check_staging_layout(
+    num_buffers: int,
+    buffer_bytes: int,
+    spm_bytes: int = 64 * 1024,
+    reserved_bytes: int = 4 * 1024,
+    owner: str = "cpe",
+) -> int:
+    """Validate a per-destination staging layout against one CPE's SPM.
+
+    ``reserved_bytes`` accounts for stack/control state that always lives in
+    SPM. Returns the bytes used; raises :class:`SpmOverflow` when the layout
+    cannot fit — the Direct CPE failure mode.
+    """
+    spm = Spm(spm_bytes, owner=owner)
+    spm.alloc("reserved", reserved_bytes)
+    for i in range(num_buffers):
+        spm.alloc(f"dest{i}", buffer_bytes)
+    return spm.used

@@ -1,0 +1,30 @@
+"""The TaihuLight interconnect: two-level fat tree + rank-level messaging.
+
+Section 3.3 of the paper: 40,960 nodes on FDR InfiniBand; 256-node super
+nodes with full bisection bandwidth at the bottom; a central switching
+network with a 1:4 oversubscription on top; static destination-based
+routing; and ~100 KB of MPI library memory pinned per connection.
+
+- :mod:`repro.network.topology` — node/super-node geometry and route
+  classification;
+- :mod:`repro.network.links` — FIFO link servers with bandwidth;
+- :mod:`repro.network.cost` — the alpha-beta transfer-time model with
+  per-link contention and the central-switch bandwidth cap;
+- :mod:`repro.network.connection` — per-node MPI connection memory
+  accounting (the Direct-MPE crash at 16,384 nodes lives here);
+- :mod:`repro.network.simmpi` — SimMPI, the deterministic message-passing
+  runtime the functional BFS runs on.
+"""
+
+from repro.network.topology import FatTreeTopology
+from repro.network.cost import NetworkModel
+from repro.network.connection import ConnectionTable
+from repro.network.simmpi import SimCluster, Message
+
+__all__ = [
+    "FatTreeTopology",
+    "NetworkModel",
+    "ConnectionTable",
+    "SimCluster",
+    "Message",
+]

@@ -1,0 +1,67 @@
+"""MPI connection-memory accounting.
+
+Section 3.3: "every connection uses 100 KB memory due to the MPI library, so
+an MPE needs 4 GB memory just for establishing connections" at 40,000 peers.
+Group-based batching (Section 4.4) cuts the peer set from N*M to N+M-1,
+"reducing the MPI library memory overhead from 4 GB to approximately 40 MB".
+
+The table records every distinct peer a node has exchanged a message with
+and charges the per-connection cost against a budget; exceeding the budget
+raises :class:`~repro.errors.ConnectionMemoryExhausted` — the Figure 11
+Direct-MPE crash at 16,384 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConnectionMemoryExhausted
+from repro.machine.specs import NodeSpec
+
+
+class ConnectionTable:
+    """Distinct-peer tracking with a memory budget for one node."""
+
+    def __init__(self, node_id: int, spec: NodeSpec):
+        self.node_id = node_id
+        self.bytes_per_connection = spec.mpi_connection_bytes
+        self.budget = spec.mpi_memory_budget
+        self.peers: set[int] = set()
+
+    @property
+    def count(self) -> int:
+        return len(self.peers)
+
+    @property
+    def memory_used(self) -> int:
+        return self.count * self.bytes_per_connection
+
+    def ensure(self, peer: int) -> None:
+        """Record a connection to ``peer`` (idempotent); enforce the budget."""
+        if peer == self.node_id or peer in self.peers:
+            return
+        needed = (self.count + 1) * self.bytes_per_connection
+        if needed > self.budget:
+            raise ConnectionMemoryExhausted(
+                f"{self.count + 1} MPI connections need {needed} B, "
+                f"budget is {self.budget} B",
+                node=self.node_id,
+            )
+        self.peers.add(peer)
+
+    def require(self, n_peers: int) -> None:
+        """Assert the budget can hold ``n_peers`` connections *at all*.
+
+        Used at job construction: MPI connections to every potential peer
+        are established up front, so a configuration that needs more peers
+        than the budget allows dies before the first message — exactly how
+        the paper's Direct runs failed at 16,384 nodes.
+        """
+        needed = n_peers * self.bytes_per_connection
+        if needed > self.budget:
+            raise ConnectionMemoryExhausted(
+                f"{n_peers} MPI connections need {needed} B, "
+                f"budget is {self.budget} B",
+                node=self.node_id,
+            )
+
+    def reset(self) -> None:
+        self.peers.clear()

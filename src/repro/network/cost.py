@@ -1,0 +1,94 @@
+"""Alpha-beta transfer-time model over the fat tree with link contention.
+
+A message from ``src`` to ``dst`` serialises, in order, on:
+
+1. the source node's NIC egress (1.2 GB/s effective, the paper's measured
+   per-node bandwidth for large messages);
+2. if it leaves the super node: the source super node's aggregate uplink
+   and the destination super node's aggregate downlink, each provisioned at
+   ``nodes_per_super_node * nic_bw / oversubscription`` — the 1:4 central
+   network cap of Section 3.3;
+3. the destination node's NIC ingress;
+
+plus a propagation latency (1 us intra, 3 us inter) — the "alpha" — paid
+once per message. Per-message *software* cost on the MPE is charged by the
+runtime, not here, because it depends on which MPE is free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.specs import MachineSpec, TAIHULIGHT
+from repro.network.links import Link
+from repro.network.topology import FatTreeTopology
+
+
+class NetworkModel:
+    """Shared-state link model for one simulated machine."""
+
+    def __init__(self, topology: FatTreeTopology, spec: MachineSpec = TAIHULIGHT):
+        self.topology = topology
+        self.spec = spec
+        t = spec.taihulight
+        nic_bw = t.nic_effective_bandwidth
+        self.nic_out = [Link(f"nic_out[{i}]", nic_bw) for i in range(topology.num_nodes)]
+        self.nic_in = [Link(f"nic_in[{i}]", nic_bw) for i in range(topology.num_nodes)]
+        trunk_bw = (
+            topology.nodes_per_super_node * nic_bw / topology.central_oversubscription
+        )
+        n_sn = topology.num_super_nodes
+        self.uplink = [Link(f"uplink[{s}]", trunk_bw) for s in range(n_sn)]
+        self.downlink = [Link(f"downlink[{s}]", trunk_bw) for s in range(n_sn)]
+
+    # -- queries ----------------------------------------------------------------
+    def latency(self, src: int, dst: int) -> float:
+        t = self.spec.taihulight
+        if src == dst:
+            return 0.0
+        if self.topology.is_intra_super_node(src, dst):
+            return t.intra_super_node_latency
+        return t.inter_super_node_latency
+
+    def links_on_route(self, src: int, dst: int) -> list[Link]:
+        if src == dst:
+            return []
+        route = [self.nic_out[src]]
+        if not self.topology.is_intra_super_node(src, dst):
+            route.append(self.uplink[self.topology.super_node_of(src)])
+            route.append(self.downlink[self.topology.super_node_of(dst)])
+        route.append(self.nic_in[dst])
+        return route
+
+    # -- transfers ---------------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: float, now: float) -> float:
+        """Send ``nbytes`` from ``src`` to ``dst`` starting at ``now``.
+
+        Returns the arrival time. Each link on the static route is occupied
+        FIFO (store-and-forward at message granularity — conservative but
+        simple, and the paper's messages are batched large precisely so that
+        per-hop pipelining stops mattering).
+        """
+        if nbytes < 0:
+            raise ConfigError(f"negative message size: {nbytes}")
+        self.topology.check_node(src)
+        self.topology.check_node(dst)
+        if src == dst:
+            return now
+        t = now
+        for link in self.links_on_route(src, dst):
+            _, t = link.transfer(t, nbytes)
+        return t + self.latency(src, dst)
+
+    # -- bookkeeping ----------------------------------------------------------------
+    def reset(self) -> None:
+        for group in (self.nic_out, self.nic_in, self.uplink, self.downlink):
+            for link in group:
+                link.reset()
+
+    def total_bytes(self) -> float:
+        """Bytes injected at source NICs (each message counted once)."""
+        return sum(l.bytes_carried for l in self.nic_out)
+
+    def central_bytes(self) -> float:
+        """Bytes that crossed the oversubscribed central switches."""
+        return sum(l.bytes_carried for l in self.uplink)

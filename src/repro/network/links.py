@@ -1,0 +1,36 @@
+"""FIFO link servers: a bandwidth plus a next-free time.
+
+Every physical resource a message serialises on — a node's NIC in each
+direction, and a super node's aggregate up/down pipes into the central
+switches — is one :class:`Link`. Contention emerges from FIFO queueing:
+two messages on the same link back to back finish later than in parallel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.resources import Server
+
+
+class Link(Server):
+    """A server whose service time is ``bytes / bandwidth``."""
+
+    __slots__ = ("bandwidth", "bytes_carried")
+
+    def __init__(self, name: str, bandwidth: float):
+        if bandwidth <= 0:
+            raise ConfigError(f"link {name!r} needs positive bandwidth")
+        super().__init__(name)
+        self.bandwidth = float(bandwidth)
+        self.bytes_carried = 0.0
+
+    def transfer(self, now: float, nbytes: float) -> tuple[float, float]:
+        """Queue ``nbytes`` at time ``now``; returns (start, finish)."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer: {nbytes}")
+        self.bytes_carried += nbytes
+        return self.admit(now, nbytes / self.bandwidth)
+
+    def reset(self) -> None:  # type: ignore[override]
+        super().reset()
+        self.bytes_carried = 0.0

@@ -1,0 +1,63 @@
+"""Fat-tree geometry: nodes, super nodes, and route classification.
+
+The topology is purely structural — which super node a node lives in and
+whether a message crosses the central switches. Bandwidth and latency live
+in :mod:`repro.network.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FatTreeTopology:
+    """A two-level fat tree over ``num_nodes`` compute nodes."""
+
+    num_nodes: int
+    nodes_per_super_node: int = 256
+    central_oversubscription: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError(f"need at least one node, got {self.num_nodes}")
+        if self.nodes_per_super_node <= 0:
+            raise ConfigError(
+                f"bad super node size {self.nodes_per_super_node}"
+            )
+        if self.central_oversubscription < 1:
+            raise ConfigError(
+                f"oversubscription must be >= 1, got {self.central_oversubscription}"
+            )
+
+    @property
+    def num_super_nodes(self) -> int:
+        return -(-self.num_nodes // self.nodes_per_super_node)
+
+    def check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def super_node_of(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.nodes_per_super_node
+
+    def nodes_in_super_node(self, sn: int) -> range:
+        if not 0 <= sn < self.num_super_nodes:
+            raise ConfigError(f"super node {sn} out of range")
+        lo = sn * self.nodes_per_super_node
+        return range(lo, min(lo + self.nodes_per_super_node, self.num_nodes))
+
+    def is_intra_super_node(self, src: int, dst: int) -> bool:
+        """True when a message stays below the central switches."""
+        return self.super_node_of(src) == self.super_node_of(dst)
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Switch hops on the static route (0 self, 2 intra, 4 via central)."""
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return 0
+        return 2 if self.is_intra_super_node(src, dst) else 4

@@ -1,0 +1,30 @@
+"""Analytic performance model for full-machine projections.
+
+The functional simulator executes the real algorithm up to ~64 nodes; the
+paper's evaluation runs up to 40,768. This package closes the gap with a
+closed-form cost model per (node count, vertices/node, variant):
+
+- data terms — shuffle compute, NIC injection, the 1:4-oversubscribed
+  central trunk — scale with per-node volume;
+- fixed terms — per-level collectives, hub-bitmap allgathers (the paper's
+  "does not scale well" operation), per-message MPE overheads, straggler
+  skew — scale with node count and level structure;
+- failure conditions — SPM staging overflow (Direct CPE) and MPI
+  connection memory (Direct *) — reproduce Figure 11's crash points.
+
+All constants live in :class:`~repro.perf.params.PerfParams` with their
+provenance; :class:`~repro.perf.scaling.ScalingModel` produces the Figure
+11/12 series and the Table 2 comparison.
+"""
+
+from repro.perf.params import PerfParams
+from repro.perf.cost import CostModel, PerfPoint
+from repro.perf.scaling import ScalingModel, TABLE2_PUBLISHED
+
+__all__ = [
+    "PerfParams",
+    "CostModel",
+    "PerfPoint",
+    "ScalingModel",
+    "TABLE2_PUBLISHED",
+]

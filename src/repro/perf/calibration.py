@@ -1,0 +1,70 @@
+"""Calibration checks: measure the model's free parameters functionally.
+
+The cost model's calibrated constants (work fraction, remote fraction)
+claim to describe what the algorithm *does*. This module measures those
+same quantities from functional runs so tests can confront the constants
+with data — not to re-fit them per run, but to show they sit inside the
+behaviourally plausible band at scales the simulator can execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bfs import DistributedBFS
+from repro.core.config import BFSConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.kronecker import KroneckerGenerator
+
+
+@dataclass(frozen=True)
+class MeasuredFractions:
+    """Empirical counterparts of PerfParams' calibrated intensities."""
+
+    scale: int
+    nodes: int
+    #: records shuffled / (2m directed edge slots)
+    work_fraction: float
+    #: network bytes / (records * record_bytes) — proxies the remote share
+    #: (relay double-counting and headers included, so an upper bound).
+    remote_fraction: float
+    levels: int
+    bu_levels: int
+
+
+def measure_fractions(
+    scale: int,
+    nodes: int,
+    config: BFSConfig | None = None,
+    seed: int = 1,
+    num_roots: int = 3,
+    nodes_per_super_node: int = 4,
+) -> MeasuredFractions:
+    """Average the intensity fractions over a few roots."""
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    cfg = config or BFSConfig()
+    bfs = DistributedBFS(
+        edges, nodes, config=cfg, nodes_per_super_node=nodes_per_super_node
+    )
+    roots = np.flatnonzero(graph.degrees() > 0)[:num_roots]
+    work, remote, levels, bu = [], [], [], []
+    slots = 2 * edges.num_edges
+    for root in roots:
+        result = bfs.run(int(root))
+        records = result.stats["records_sent"]
+        work.append(records / slots)
+        payload = records * cfg.record_bytes
+        remote.append(result.stats["bytes"] / payload if payload else 0.0)
+        levels.append(result.levels)
+        bu.append(result.stats["bu_levels"])
+    return MeasuredFractions(
+        scale=scale,
+        nodes=nodes,
+        work_fraction=float(np.mean(work)),
+        remote_fraction=float(np.mean(remote)),
+        levels=int(np.median(levels)),
+        bu_levels=int(np.median(bu)),
+    )

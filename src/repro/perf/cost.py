@@ -1,0 +1,167 @@
+"""Closed-form per-configuration cost evaluation.
+
+``CostModel.evaluate(nodes, vertices_per_node, variant)`` prices one BFS
+run and returns a :class:`PerfPoint`: the GTEPS estimate, the total time,
+a term-by-term breakdown, and — for infeasible configurations — the crash
+reason instead of a number. The structure:
+
+    T = max(T_compute, T_inject, T_central)        # overlapped data paths
+        + T_messages + T_sync + T_allgather + T_straggle   # serial overheads
+
+Crashes:
+
+- Direct + CPE with more destinations than SPM staging can hold ->
+  ``spm-overflow`` (Figure 11: Direct CPE dies past 256 nodes);
+- Direct with more peers than the MPI memory budget -> ``connection-
+  memory`` (Figure 11: Direct MPE dies at 16,384 nodes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import BFSConfig
+from repro.baselines.variants import variant_config
+from repro.errors import ConfigError
+from repro.perf.params import PerfParams
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One evaluated (nodes, vertices/node, variant) configuration."""
+
+    nodes: int
+    vertices_per_node: float
+    variant: str
+    gteps: float
+    total_seconds: float
+    breakdown: dict = field(default_factory=dict)
+    crashed: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed is None
+
+    @property
+    def total_edges(self) -> float:
+        return self.nodes * self.vertices_per_node * 16
+
+
+class CostModel:
+    """Price BFS runs under :class:`PerfParams`."""
+
+    def __init__(self, params: PerfParams | None = None):
+        self.params = params or PerfParams()
+
+    # ------------------------------------------------------------------ util --
+    def _config_for(self, variant: str | BFSConfig) -> BFSConfig:
+        if isinstance(variant, BFSConfig):
+            return variant
+        return variant_config(variant)
+
+    def _work_fractions(self, cfg: BFSConfig) -> tuple[float, float]:
+        """(work fraction of 2m, remote fraction of records) for a config."""
+        p = self.params
+        if not cfg.direction_optimizing:
+            return p.work_fraction_topdown, p.remote_fraction_no_hubs
+        if not cfg.use_hub_prefetch:
+            return p.work_fraction_no_hubs, p.remote_fraction_no_hubs
+        return p.work_fraction_optimized, p.remote_fraction
+
+    def _check_crash(self, cfg: BFSConfig, nodes: int) -> str | None:
+        p = self.params
+        if not cfg.use_relay:
+            if cfg.use_cpe_clusters and nodes > p.max_shuffle_destinations:
+                return "spm-overflow"
+            if (nodes - 1) * p.connection_bytes > p.connection_budget_bytes:
+                return "connection-memory"
+        return None
+
+    # -------------------------------------------------------------- evaluation --
+    def evaluate(
+        self,
+        nodes: int,
+        vertices_per_node: float,
+        variant: str | BFSConfig = "relay-cpe",
+    ) -> PerfPoint:
+        if nodes < 1 or vertices_per_node <= 0:
+            raise ConfigError(
+                f"bad configuration: {nodes} nodes, {vertices_per_node} vpn"
+            )
+        p = self.params
+        cfg = self._config_for(variant)
+        name = cfg.variant_name
+        crashed = self._check_crash(cfg, nodes)
+        if crashed:
+            return PerfPoint(nodes, vertices_per_node, name, 0.0, math.inf,
+                             crashed=crashed)
+
+        edges_per_node = vertices_per_node * p.edge_factor
+        edge_slots_per_node = 2 * edges_per_node
+        work, remote = self._work_fractions(cfg)
+        records = work * edge_slots_per_node  # per node, whole run
+        local_scale = 1.0 if nodes == 1 else 1.0
+        bytes_shuffled = records * p.record_bytes
+        remote_bytes = (0.0 if nodes == 1 else remote * bytes_shuffled)
+        hops = 2.0 if cfg.use_relay else 1.0
+
+        # --- overlapped data paths -------------------------------------------
+        rate = p.cpe_node_rate if cfg.use_cpe_clusters else p.mpe_node_rate
+        t_compute = p.compute_passes * bytes_shuffled / rate * p.imbalance
+        # Optional wire compression (config knob; Section 7 future work)
+        # shrinks network volume but not compute.
+        wire_bytes = remote_bytes / cfg.compression_ratio
+        t_inject = hops * wire_bytes / p.nic_rate * p.imbalance * local_scale
+        cross_frac = max(0.0, 1.0 - p.nodes_per_super_node / nodes)
+        t_central = (
+            p.oversubscription * wire_bytes * cross_frac / p.nic_rate
+        )
+        t_data = max(t_compute, t_inject, t_central)
+
+        # --- serial overheads ----------------------------------------------------
+        alpha = p.alpha_msg if cfg.use_cpe_clusters else p.alpha_msg_mpe_mode
+        if nodes == 1:
+            msgs_per_epoch = 0.0
+        elif cfg.use_relay:
+            n_groups = -(-nodes // p.nodes_per_super_node)
+            width = min(nodes, p.nodes_per_super_node)
+            # send + recv on both relay stages, data + termination markers.
+            msgs_per_epoch = 4.0 * (n_groups + width - 2)
+        else:
+            msgs_per_epoch = 2.0 * (nodes - 1)
+        t_messages = p.epochs * msgs_per_epoch * alpha
+
+        log_p = math.ceil(math.log2(nodes)) if nodes > 1 else 0
+        t_sync = p.epochs * log_p * (p.inter_latency + alpha)
+        t_straggle = p.epochs * p.straggle_coeff * log_p
+
+        if cfg.use_hub_prefetch and nodes > 1:
+            bitmap_bytes = nodes * p.hub_bits_per_node / 8
+            flag_bytes = float(nodes)
+            t_allgather = (
+                p.bitmap_levels * bitmap_bytes
+                + (p.levels - p.bitmap_levels) * flag_bytes
+            ) / p.nic_rate
+        else:
+            t_allgather = 0.0
+
+        total = t_data + t_messages + t_sync + t_straggle + t_allgather
+        traversed = p.traversed_fraction * nodes * edges_per_node
+        gteps = traversed / total / 1e9
+        return PerfPoint(
+            nodes,
+            vertices_per_node,
+            name,
+            gteps,
+            total,
+            breakdown={
+                "compute": t_compute,
+                "inject": t_inject,
+                "central": t_central,
+                "messages": t_messages,
+                "sync": t_sync,
+                "straggle": t_straggle,
+                "allgather": t_allgather,
+            },
+        )

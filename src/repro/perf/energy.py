@@ -1,0 +1,103 @@
+"""Energy model: joules per traversed edge (extension).
+
+The paper's opening frames TaihuLight around "extremely large-scale
+computation and power efficiency", and Graph500 has a Green-Graph500
+sibling list. This extension prices a BFS run's energy from the same
+quantities the cost model already produces:
+
+- **static power** — the machine idles at a floor wattage per node for the
+  run's duration (the dominant term for latency-bound runs);
+- **data movement** — picojoules per byte through DRAM (DMA) and through
+  the network (NIC + switches);
+- **per-message overhead** — the MPE cycles burned on software messaging.
+
+Constants are order-of-magnitude engineering numbers for 2016-era HPC
+silicon, documented inline; the interesting output is *relative*: which
+variant wastes energy where, and how energy/edge scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError
+from repro.perf.cost import CostModel, PerfPoint
+from repro.perf.params import PerfParams
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    #: Node floor power: SW26010 + memory + NIC share, ~375 W (the machine's
+    #: 15.4 MW / 40,960 nodes).
+    node_static_watts: float = 375.0
+    #: DRAM access energy (~15 pJ/byte class for DDR3 systems).
+    dram_pj_per_byte: float = 15.0
+    #: Network energy end to end (NIC serdes + switch hops, ~50 pJ/byte).
+    network_pj_per_byte: float = 50.0
+    #: Software messaging energy: the MPE burning its ~3 W for alpha.
+    mpe_watts: float = 3.0
+
+    def __post_init__(self) -> None:
+        if min(self.node_static_watts, self.dram_pj_per_byte,
+               self.network_pj_per_byte, self.mpe_watts) <= 0:
+            raise ConfigError("energy parameters must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    point: PerfPoint
+    static_joules: float
+    dram_joules: float
+    network_joules: float
+    messaging_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return (
+            self.static_joules + self.dram_joules
+            + self.network_joules + self.messaging_joules
+        )
+
+    @property
+    def nanojoules_per_edge(self) -> float:
+        return self.total_joules / self.point.total_edges * 1e9
+
+    @property
+    def gteps_per_megawatt(self) -> float:
+        """The Green-Graph500 figure of merit."""
+        watts = self.total_joules / self.point.total_seconds
+        return self.point.gteps / (watts / 1e6)
+
+
+class EnergyModel:
+    """Energy accounting layered over the cost model."""
+
+    def __init__(self, params: PerfParams | None = None,
+                 energy: EnergyParams | None = None):
+        self.cost = CostModel(params)
+        self.params = self.cost.params
+        self.energy = energy or EnergyParams()
+
+    def evaluate(
+        self, nodes: int, vertices_per_node: float,
+        variant: str | BFSConfig = "relay-cpe",
+    ) -> EnergyPoint:
+        point = self.cost.evaluate(nodes, vertices_per_node, variant)
+        if not point.ok:
+            raise ConfigError(f"configuration crashes: {point.crashed}")
+        p, e = self.params, self.energy
+        cfg = self.cost._config_for(variant)
+        work, remote = self.cost._work_fractions(cfg)
+        records_bytes = work * 2 * vertices_per_node * p.edge_factor * p.record_bytes
+        dram_bytes = nodes * records_bytes * p.compute_passes * 2  # read+write
+        hops = 2 if cfg.use_relay else 1
+        net_bytes = nodes * remote * records_bytes * hops / cfg.compression_ratio
+        msgs_seconds = point.breakdown["messages"] * nodes
+        return EnergyPoint(
+            point=point,
+            static_joules=nodes * e.node_static_watts * point.total_seconds,
+            dram_joules=dram_bytes * e.dram_pj_per_byte * 1e-12,
+            network_joules=net_bytes * e.network_pj_per_byte * 1e-12,
+            messaging_joules=msgs_seconds * e.mpe_watts,
+        )

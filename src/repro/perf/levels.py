@@ -1,0 +1,113 @@
+"""Per-level refinement of the cost model.
+
+The lumped model prices a whole BFS run; this module distributes that work
+over a canonical level profile so the model can answer level-resolution
+questions (where does time go? which levels are latency-bound?) the way
+the functional traces do.
+
+The canonical profile is the empirical shape of direction-optimised BFS on
+edge-factor-16 Kronecker graphs — measured from functional runs (see
+``repro.perf.calibration``) and effectively scale-free: a couple of tiny
+top-down levels, one or two huge bottom-up levels carrying almost all
+records, then a shrinking tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError
+from repro.perf.cost import CostModel
+from repro.perf.params import PerfParams
+
+#: Canonical per-level record shares for the hybrid traversal (sums to 1).
+#: Shape measured from functional runs at scales 12-16: level 2 (first big
+#: top-down) and level 3 (bottom-up bulk) dominate.
+HYBRID_LEVEL_SHARES = (0.002, 0.188, 0.58, 0.20, 0.028, 0.002)
+#: Directions of those levels under the Beamer policy.
+HYBRID_LEVEL_DIRECTIONS = (
+    "topdown", "topdown", "bottomup", "bottomup", "topdown", "topdown",
+)
+
+
+@dataclass(frozen=True)
+class LevelCost:
+    level: int
+    direction: str
+    record_share: float
+    data_seconds: float
+    overhead_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.data_seconds + self.overhead_seconds
+
+    @property
+    def latency_bound(self) -> bool:
+        return self.overhead_seconds > self.data_seconds
+
+
+class LevelModel:
+    """Distribute a lumped run cost over the canonical level profile."""
+
+    def __init__(self, params: PerfParams | None = None,
+                 shares=HYBRID_LEVEL_SHARES, directions=HYBRID_LEVEL_DIRECTIONS):
+        if len(shares) != len(directions):
+            raise ConfigError("shares and directions must align")
+        if abs(sum(shares) - 1.0) > 1e-6:
+            raise ConfigError(f"level shares must sum to 1, got {sum(shares)}")
+        self.params = params or PerfParams()
+        self.cost = CostModel(self.params)
+        self.shares = tuple(shares)
+        self.directions = tuple(directions)
+
+    def level_costs(
+        self,
+        nodes: int,
+        vertices_per_node: float,
+        variant: str | BFSConfig = "relay-cpe",
+    ) -> list[LevelCost]:
+        """Per-level breakdown whose totals equal the lumped evaluation."""
+        point = self.cost.evaluate(nodes, vertices_per_node, variant)
+        if not point.ok:
+            raise ConfigError(f"configuration crashes: {point.crashed}")
+        b = point.breakdown
+        data_total = max(b["compute"], b["inject"], b["central"])
+        # Per-epoch overheads distribute over levels (BU levels carry their
+        # sub-rounds' share of sync + straggle; allgather is per level).
+        p = self.params
+        n_levels = len(self.shares)
+        epochs_per_level = []
+        for d in self.directions:
+            epochs_per_level.append(
+                p.bottomup_subrounds if d == "bottomup" else 1
+            )
+        total_epochs = sum(epochs_per_level)
+        overhead_total = b["messages"] + b["sync"] + b["straggle"] + b["allgather"]
+        out = []
+        for i, (share, direction) in enumerate(zip(self.shares, self.directions)):
+            overhead = overhead_total * epochs_per_level[i] / total_epochs
+            out.append(
+                LevelCost(
+                    level=i + 1,
+                    direction=direction,
+                    record_share=share,
+                    data_seconds=data_total * share,
+                    overhead_seconds=overhead,
+                )
+            )
+        return out
+
+    def total_seconds(self, nodes, vertices_per_node, variant="relay-cpe") -> float:
+        return sum(lc.seconds for lc in self.level_costs(nodes, vertices_per_node, variant))
+
+    def latency_bound_levels(self, nodes, vertices_per_node, variant="relay-cpe") -> int:
+        """How many levels are dominated by fixed overheads — the paper's
+        'high latency is the main reason for inefficiency' at small sizes."""
+        return sum(
+            lc.latency_bound
+            for lc in self.level_costs(nodes, vertices_per_node, variant)
+        )

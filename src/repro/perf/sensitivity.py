@@ -1,0 +1,87 @@
+"""Sensitivity analysis: which conclusions depend on which constants.
+
+The model's calibrated constants are honest free parameters; this module
+perturbs each one over a factor range and reports how the headline number
+and the key Figure 11/12 *shape claims* respond. Conclusions that survive
+2x perturbations of every calibrated constant are robust reproduction
+results; anything fragile is flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.perf.params import PerfParams
+from repro.perf.scaling import ScalingModel
+
+#: The honest free parameters (see PerfParams docstrings).
+CALIBRATED_FIELDS = (
+    "work_fraction_optimized",
+    "remote_fraction",
+    "imbalance",
+    "straggle_coeff",
+    "mpe_node_rate",
+)
+
+
+def perturbed_params(field_name: str, factor: float) -> PerfParams:
+    base = PerfParams()
+    if field_name not in {f.name for f in fields(PerfParams)}:
+        raise ConfigError(f"unknown parameter {field_name!r}")
+    if factor <= 0:
+        raise ConfigError(f"factor must be positive, got {factor}")
+    value = getattr(base, field_name) * factor
+    return replace(base, **{field_name: value})
+
+
+def shape_claims(model: ScalingModel) -> dict[str, bool]:
+    """The Figure 11/12 claims as booleans under one parameterisation."""
+    f11 = model.fig11_all()
+    by = {v: {p.nodes: p for p in pts} for v, pts in f11.items()}
+    full = {
+        vpn: model.fig12_series(vpn)[-1].gteps
+        for vpn in (1.6e6, 6.5e6, 26.2e6)
+    }
+    cpe_over_mpe = [
+        by["relay-cpe"][n].gteps / by["relay-mpe"][n].gteps
+        for n in (256, 4096, 40768)
+    ]
+    rc = [p.gteps for p in f11["relay-cpe"]]
+    return {
+        "direct_cpe_crashes": by["direct-cpe"][1024].crashed == "spm-overflow",
+        "direct_mpe_crashes": by["direct-mpe"][16384].crashed
+        == "connection-memory",
+        "cpe_beats_mpe_severalfold": min(cpe_over_mpe) > 3,
+        "relay_cpe_monotone": all(b > a for a, b in zip(rc, rc[1:])),
+        "size_gaps_hold": 1.7 < full[6.5e6] / full[1.6e6] < 6
+        and 1.7 < full[26.2e6] / full[6.5e6] < 6,
+        "headline_within_3x": 1 / 3
+        < model.headline().gteps / 23_755.7
+        < 3,
+    }
+
+
+def sweep(
+    factors: Sequence[float] = (0.5, 2.0),
+    field_names: Sequence[str] = CALIBRATED_FIELDS,
+) -> dict[tuple[str, float], dict[str, bool | float]]:
+    """Perturb each calibrated constant; return claims + headline per case."""
+    out: dict[tuple[str, float], dict] = {}
+    for name in field_names:
+        for factor in factors:
+            model = ScalingModel(perturbed_params(name, factor))
+            row: dict[str, bool | float] = dict(shape_claims(model))
+            row["headline_gteps"] = model.headline().gteps
+            out[(name, factor)] = row
+    return out
+
+
+def robust_claims(results=None) -> list[str]:
+    """Claims that hold under every perturbation in the sweep."""
+    results = results or sweep()
+    claims = [k for k in next(iter(results.values())) if k != "headline_gteps"]
+    return [
+        c for c in claims if all(bool(row[c]) for row in results.values())
+    ]

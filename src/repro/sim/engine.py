@@ -1,0 +1,111 @@
+"""The discrete-event engine: a time-ordered callback queue.
+
+Design notes
+------------
+The engine is intentionally tiny. Everything that happens in the simulated
+machine is an entry ``(time, seq, callback, args)`` in a binary heap. ``seq``
+is a monotone counter that (a) breaks ties deterministically and (b) keeps
+heap comparisons away from unorderable payloads.
+
+Simulated time is a float in **seconds**. The engine never advances past an
+event without executing it, and callbacks may schedule further events at or
+after the current time (scheduling in the past is an error — it would make
+the simulation acausal).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """A deterministic event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_executed = 0
+        self._running = False
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_executed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when!r} before now={self._now!r}"
+            )
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self.call_at(self._now + delay, fn, *args)
+
+    # -- running ----------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        self._now = when
+        self._events_executed += 1
+        fn(*args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the queue (optionally bounded by time or event count).
+
+        Returns the simulated time after the run. With ``until`` set, events
+        strictly after that time stay queued and the clock is advanced to
+        exactly ``until`` (if the simulation reaches it).
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_quiescent(self, max_events: int = 100_000_000) -> float:
+        """Drain every event; raise if the bound is hit (runaway simulation)."""
+        start = self._events_executed
+        self.run(max_events=max_events)
+        if self._queue:
+            raise SimulationError(
+                f"simulation still active after {self._events_executed - start} events"
+            )
+        return self._now

@@ -1,0 +1,65 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields:
+
+- :class:`~repro.sim.events.Timeout` — sleep for simulated time;
+- :class:`~repro.sim.events.Event` — wait until the event fires (the event's
+  value is sent back into the generator);
+- another :class:`Process` — wait for that process to finish (its return
+  value is sent back).
+
+A process is itself waitable: it completes when the generator returns, and
+its completion event carries the generator's return value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event, Timeout
+
+
+class Process:
+    """Run ``gen`` as a simulated process on ``engine``."""
+
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any], name: str = ""):
+        if not isinstance(gen, Generator):
+            raise SimulationError(f"Process needs a generator, got {type(gen).__name__}")
+        self._engine = engine
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(engine)
+        engine.call_after(0.0, self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.fired
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    # -- driver ------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        if isinstance(yielded, Timeout):
+            self._engine.call_after(yielded.delay, self._resume, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._resume)
+        elif isinstance(yielded, Process):
+            yielded.done.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+    def add_callback(self, cb) -> None:
+        """Waitable protocol: forward to the completion event."""
+        self.done.add_callback(cb)

@@ -1,0 +1,101 @@
+"""Busy-time resources for callback-style simulation.
+
+The BFS runtime computes every service time up front (from the machine
+model), so a resource does not need blocking semantics — only an answer to
+"given work arriving at time ``t`` that takes ``d`` seconds, when does it
+start and finish?". :class:`Server` is one FIFO execution unit (an MPE, a
+CPE cluster, a network link); :class:`ServerPool` models "any idle unit"
+scheduling (the paper's first-come-first-serve CPE-cluster dispatch).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Server:
+    """One FIFO unit of service with a next-free time and utilisation stats.
+
+    Setting ``intervals`` to a list (see :mod:`repro.utils.trace`) makes the
+    server record every (start, finish) busy window for trace export.
+    """
+
+    __slots__ = ("name", "free_at", "busy_time", "jobs", "intervals")
+
+    def __init__(self, name: str = "server"):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs = 0
+        self.intervals: list[tuple[float, float]] | None = None
+
+    def admit(self, now: float, duration: float) -> tuple[float, float]:
+        """Enqueue a job arriving at ``now`` lasting ``duration``.
+
+        Returns ``(start, finish)`` and advances the server's clock.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service time: {duration!r}")
+        start = max(now, self.free_at)
+        finish = start + duration
+        self.free_at = finish
+        self.busy_time += duration
+        self.jobs += 1
+        if self.intervals is not None:
+            self.intervals.append((start, finish))
+        return start, finish
+
+    def earliest_start(self, now: float) -> float:
+        """When a job arriving at ``now`` would begin service."""
+        return max(now, self.free_at)
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs = 0
+
+
+class ServerPool:
+    """A set of interchangeable servers with earliest-available dispatch.
+
+    This models the paper's module scheduling: an incoming module execution
+    is given to whichever CPE cluster frees up first (first-come-first-serve,
+    Section 4.4), and the caller can inspect the queueing delay to decide to
+    divert tiny jobs to the MPE instead (the 1 KB quick path, Section 5).
+    """
+
+    def __init__(self, names: list[str]):
+        if not names:
+            raise SimulationError("empty server pool")
+        self.servers = [Server(n) for n in names]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def pick(self, now: float) -> Server:
+        """The server that could start a job arriving at ``now`` soonest.
+
+        Ties break on position, which keeps dispatch deterministic.
+        """
+        return min(self.servers, key=lambda s: (s.earliest_start(now),))
+
+    def earliest_start(self, now: float) -> float:
+        return self.pick(now).earliest_start(now)
+
+    def admit(self, now: float, duration: float) -> tuple[float, float, Server]:
+        server = self.pick(now)
+        start, finish = server.admit(now, duration)
+        return start, finish, server
+
+    def reset(self) -> None:
+        for s in self.servers:
+            s.reset()
+
+    def total_busy_time(self) -> float:
+        return sum(s.busy_time for s in self.servers)

@@ -1,0 +1,39 @@
+"""Shared utilities: units, table formatting, and logging helpers."""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    KiB,
+    MiB,
+    GiB,
+    NS,
+    US,
+    MS,
+    SEC,
+    GBPS,
+    fmt_bytes,
+    fmt_time,
+    fmt_rate,
+    fmt_count,
+)
+from repro.utils.tables import Table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "GBPS",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "fmt_count",
+    "Table",
+]

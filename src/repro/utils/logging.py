@@ -1,0 +1,29 @@
+"""Logging setup for the repro package.
+
+All modules log through the ``repro`` logger hierarchy; simulations are
+silent by default (benchmarks print their own tables). ``enable_logging``
+turns on human-oriented progress output for interactive use.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child of the package logger (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def enable_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the package logger (idempotent)."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,58 @@
+"""Minimal ASCII table renderer for benchmark and report output.
+
+The benchmark harness reproduces the paper's tables and figure series as
+text; this renderer keeps that output aligned and diff-friendly without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """An append-only table with column alignment.
+
+    >>> t = Table(["nodes", "GTEPS"])
+    >>> t.add_row([64, 35.1])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    nodes | GTEPS
+    ----- | -----
+    64    | 35.1
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(" | ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,80 @@
+"""Units and human-readable formatting.
+
+Conventions used throughout the simulator:
+
+- **time** is measured in *seconds* of simulated time (floats);
+- **sizes** are measured in *bytes* (ints where possible);
+- **bandwidths** are *bytes per second*.
+
+The paper mixes decimal (GB/s bandwidths, Gbps links) and binary (KB SPM)
+units; we expose both, with ``KB``/``MB``/``GB`` decimal per the networking
+convention and ``KiB``/``MiB``/``GiB`` binary.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+# --- rates -----------------------------------------------------------------
+GBPS = 1e9  # bytes/second per "GB/s"
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix (``640 B``, ``2.0 KiB``)."""
+    n = float(n)
+    for unit, width in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= width:
+            return f"{n / width:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit (``12.3 us``, ``4.56 s``)."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3g} s"
+    if abs(s) >= MS:
+        return f"{s / MS:.3g} ms"
+    if abs(s) >= US:
+        return f"{s / US:.3g} us"
+    return f"{s / NS:.3g} ns"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Render a bandwidth in decimal units (``28.9 GB/s``)."""
+    r = float(bytes_per_sec)
+    if abs(r) >= GB:
+        return f"{r / GB:.3g} GB/s"
+    if abs(r) >= MB:
+        return f"{r / MB:.3g} MB/s"
+    if abs(r) >= KB:
+        return f"{r / KB:.3g} KB/s"
+    return f"{r:.3g} B/s"
+
+
+def fmt_count(n: float) -> str:
+    """Render a large count with K/M/G suffixes (``26.2M``)."""
+    n = float(n)
+    for unit, width in (("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(n) >= width:
+            return f"{n / width:.3g}{unit}"
+    return f"{n:.3g}"
+
+
+def gteps(edges: float, seconds: float) -> float:
+    """Giga-traversed-edges-per-second, the Graph500 headline metric."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration: {seconds!r}")
+    return edges / seconds / 1e9

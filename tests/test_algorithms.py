@@ -1,0 +1,211 @@
+"""Extension-algorithm tests, validated against networkx/scipy."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithms import (
+    DistributedKCore,
+    DistributedPageRank,
+    DistributedSSSP,
+    DistributedWCC,
+    edge_weight,
+)
+from repro.core import BFSConfig
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, EdgeList, KroneckerGenerator
+from repro.graph.generators import grid_edges, ring_edges
+
+CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+KW = dict(config=CFG, nodes_per_super_node=2)
+
+
+def kron(scale=9, seed=1):
+    return KroneckerGenerator(scale=scale, seed=seed).generate()
+
+
+def to_nx(edges, weighted=False):
+    g = nx.Graph()
+    g.add_nodes_from(range(edges.num_vertices))
+    for u, v in zip(edges.src.tolist(), edges.dst.tolist()):
+        if u == v:
+            continue
+        if weighted:
+            w = float(edge_weight(np.array([u]), np.array([v]))[0])
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, weight=w)
+        else:
+            g.add_edge(u, v)
+    return g
+
+
+# --------------------------------------------------------------------- SSSP --
+def test_sssp_matches_dijkstra_on_kronecker():
+    edges = kron()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    result = DistributedSSSP(edges, 4, **KW).run(root)
+    expected = nx.single_source_dijkstra_path_length(to_nx(edges, weighted=True), root)
+    for v in range(edges.num_vertices):
+        if v in expected:
+            assert result.dist[v] == pytest.approx(expected[v]), v
+        else:
+            assert np.isinf(result.dist[v])
+    assert result.supersteps >= 1
+    assert result.sim_seconds > 0
+
+
+def test_sssp_on_ring_unit_structure():
+    edges = ring_edges(16)
+    result = DistributedSSSP(edges, 4, **KW).run(0)
+    # Distances respect ring geometry: symmetric neighbours at most one
+    # hop-weight apart along the two directions.
+    w01 = edge_weight(np.array([0]), np.array([1]))[0]
+    assert result.dist[0] == 0
+    assert result.dist[1] <= result.dist[2]  # monotone along the short arc
+
+
+def test_sssp_relay_and_direct_agree():
+    edges = kron(seed=3)
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[2])
+    relay = DistributedSSSP(edges, 4, **KW).run(root)
+    direct_cfg = BFSConfig(
+        use_relay=False, hub_count_topdown=8, hub_count_bottomup=8
+    )
+    direct = DistributedSSSP(
+        edges, 4, config=direct_cfg, nodes_per_super_node=2
+    ).run(root)
+    assert np.array_equal(relay.dist, direct.dist)
+
+
+def test_edge_weight_properties():
+    u = np.arange(100, dtype=np.int64)
+    v = (u * 7 + 3) % 100
+    w1 = edge_weight(u, v)
+    w2 = edge_weight(v, u)
+    assert np.array_equal(w1, w2)  # symmetric
+    assert w1.min() >= 1 and w1.max() <= 8
+    assert len(np.unique(w1)) > 1  # actually varies
+
+
+def test_sssp_validation():
+    with pytest.raises(ConfigError):
+        DistributedSSSP(ring_edges(8), 2, max_weight=0)
+    with pytest.raises(ConfigError):
+        DistributedSSSP(ring_edges(8), 2, **KW).run(99)
+
+
+# ---------------------------------------------------------------------- WCC --
+def test_wcc_matches_scipy_components():
+    edges = kron(scale=8, seed=5)
+    n = edges.num_vertices
+    mat = sp.coo_matrix(
+        (np.ones(edges.num_edges), (edges.src, edges.dst)), shape=(n, n)
+    )
+    n_comp, expected = sp.csgraph.connected_components(mat, directed=False)
+    result = DistributedWCC(edges, 4, **KW).run()
+    assert result.num_components() == n_comp
+    # Same partition: two vertices share a repro label iff scipy agrees.
+    for comp in range(n_comp):
+        members = np.flatnonzero(expected == comp)
+        assert len(np.unique(result.labels[members])) == 1
+
+
+def test_wcc_labels_are_component_minima():
+    e = EdgeList(np.array([0, 5, 6]), np.array([1, 6, 7]), 10)
+    result = DistributedWCC(e, 2, **KW).run()
+    assert result.labels[0] == result.labels[1] == 0
+    assert result.labels[5] == result.labels[6] == result.labels[7] == 5
+    assert result.labels[9] == 9  # isolated vertex keeps its own label
+
+
+def test_wcc_single_component_ring():
+    result = DistributedWCC(ring_edges(32), 4, **KW).run()
+    assert result.num_components() == 1
+    assert (result.labels == 0).all()
+
+
+# ----------------------------------------------------------------- PageRank --
+def test_pagerank_matches_networkx():
+    edges = kron(scale=8, seed=7)
+    result = DistributedPageRank(edges, 4, **KW).run(iterations=50)
+    expected = nx.pagerank(to_nx(edges), alpha=0.85, max_iter=200, tol=1e-10)
+    ours = result.ranks
+    for v, r in expected.items():
+        assert ours[v] == pytest.approx(r, abs=2e-4), v
+    assert ours.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_pagerank_grid_symmetry():
+    result = DistributedPageRank(grid_edges(4, 4), 2, **KW).run(iterations=60)
+    r = result.ranks.reshape(4, 4)
+    # Symmetric structure -> symmetric ranks.
+    assert np.allclose(r, r.T, atol=1e-9)
+    assert np.allclose(r, r[::-1, ::-1], atol=1e-9)
+
+
+def test_pagerank_early_stop_with_tolerance():
+    result = DistributedPageRank(ring_edges(16), 2, **KW).run(
+        iterations=500, tol=1e-12
+    )
+    assert result.supersteps < 500
+    # Ring: uniform ranks.
+    assert np.allclose(result.ranks, 1 / 16, atol=1e-9)
+
+
+def test_pagerank_validation():
+    with pytest.raises(ConfigError):
+        DistributedPageRank(ring_edges(8), 2, damping=1.5)
+    with pytest.raises(ConfigError):
+        DistributedPageRank(ring_edges(8), 2, **KW).run(iterations=0)
+
+
+# -------------------------------------------------------------------- k-core --
+def test_kcore_matches_networkx():
+    edges = kron(scale=8, seed=9)
+    g = to_nx(edges)
+    g.remove_edges_from(nx.selfloop_edges(g))
+    core_numbers = nx.core_number(g)
+    for k in (2, 3, 4):
+        result = DistributedKCore(edges, 4, **KW).run(k)
+        expected = {v for v, c in core_numbers.items() if c >= k}
+        assert set(np.flatnonzero(result.in_core).tolist()) == expected, k
+
+
+def test_kcore_ring_is_its_own_2core():
+    result = DistributedKCore(ring_edges(12), 2, **KW).run(2)
+    assert result.core_size() == 12
+    empty = DistributedKCore(ring_edges(12), 2, **KW).run(3)
+    assert empty.core_size() == 0
+
+
+def test_kcore_validation():
+    with pytest.raises(ConfigError):
+        DistributedKCore(ring_edges(8), 2, **KW).run(0)
+
+
+# ----------------------------------------------------------- engine mechanics --
+def test_superstep_engine_routes_all_records():
+    from repro.algorithms.base import SuperstepEngine
+
+    eng = SuperstepEngine(ring_edges(16), 4, **KW)
+    # Every node sends one record to every vertex.
+    outgoing = []
+    for part in eng.parts:
+        targets = np.arange(16, dtype=np.int64)
+        outgoing.append((targets, np.full(16, float(part.node_id))))
+    inboxes = eng.superstep(outgoing)
+    for part, (v, x) in zip(eng.parts, inboxes):
+        assert len(v) == 4 * part.n_local  # one from each sender per vertex
+        assert set(np.unique(x).tolist()) == {0.0, 1.0, 2.0, 3.0}
+        assert ((v >= part.lo) & (v < part.hi)).all()
+
+
+def test_superstep_engine_validation():
+    from repro.algorithms.base import SuperstepEngine
+
+    eng = SuperstepEngine(ring_edges(16), 2, **KW)
+    with pytest.raises(ConfigError):
+        eng.superstep([])  # wrong batch count

@@ -1,0 +1,70 @@
+"""CLI tests (invoked in-process through main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_specs_prints_table1(capsys):
+    assert main(["specs"]) == 0
+    out = capsys.readouterr().out
+    assert "64KB SPM" in out
+    assert "40 Cabinets" in out
+
+
+def test_graph500_small_run(capsys):
+    rc = main(
+        ["graph500", "--scale", "8", "--nodes", "4", "--roots", "2",
+         "--super-node", "2", "--per-root"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "all validated" in out
+    assert "GTEPS" in out
+    assert "root" in out  # the per-root table
+
+
+def test_fig11_prints_crashes(capsys):
+    assert main(["fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "CRASH:spm-overflow" in out
+    assert "CRASH:connection-memory" in out
+    assert "relay-cpe" in out
+
+
+def test_fig12_prints_headline(capsys):
+    assert main(["fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "23,755.7" in out
+    assert "40768" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "K Computer" in out
+    assert "Present Work" in out
+
+
+def test_generate_writes_archive(tmp_path, capsys):
+    out_path = tmp_path / "graph.npz"
+    assert main(["generate", "--scale", "8", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    from repro.graph.io import load_edgelist
+
+    edges = load_edgelist(out_path)
+    assert edges.num_edges == 16 << 8
+
+
+def test_sssp_subcommand(capsys):
+    rc = main(["sssp", "--scale", "8", "--nodes", "2", "--roots", "2",
+               "--super-node", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SSSP" in out and "GTEPS" in out
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

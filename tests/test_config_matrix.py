@@ -1,0 +1,60 @@
+"""Exhaustive configuration-matrix integration sweep.
+
+Every combination of the major switches must produce a Graph500-valid
+traversal on the same graph — the cartesian-product safety net for
+feature interactions (relay x device x direction x hubs x codec x
+partition mode).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.reference import reference_depths
+from repro.graph500.validate import validate_bfs_result
+
+EDGES = KroneckerGenerator(scale=8, seed=99).generate()
+GRAPH = CSRGraph.from_edges(EDGES)
+ROOT = int(np.flatnonzero(GRAPH.degrees() > 0)[0])
+REFERENCE = reference_depths(GRAPH, ROOT)
+
+MATRIX = list(
+    itertools.product(
+        (True, False),        # use_relay
+        (True, False),        # use_cpe_clusters
+        (True, False),        # direction_optimizing
+        (True, False),        # use_hub_prefetch
+        (True, False),        # use_codec
+        ("balanced", "block"),  # partition_mode
+    )
+)
+
+
+@pytest.mark.parametrize(
+    "relay,cpe,direction,hubs,codec,partition", MATRIX,
+    ids=[
+        f"{'relay' if r else 'direct'}-{'cpe' if c else 'mpe'}-"
+        f"{'hybrid' if d else 'td'}-{'hubs' if h else 'nohubs'}-"
+        f"{'codec' if k else 'raw'}-{p}"
+        for r, c, d, h, k, p in MATRIX
+    ],
+)
+def test_every_configuration_is_correct(relay, cpe, direction, hubs, codec, partition):
+    cfg = BFSConfig(
+        use_relay=relay,
+        use_cpe_clusters=cpe,
+        direction_optimizing=direction,
+        use_hub_prefetch=hubs,
+        use_codec=codec,
+        partition_mode=partition,
+        hub_count_topdown=8,
+        hub_count_bottomup=8,
+    )
+    bfs = DistributedBFS(EDGES, 4, config=cfg, nodes_per_super_node=2)
+    result = bfs.run(ROOT)
+    depth = validate_bfs_result(GRAPH, EDGES, ROOT, result.parent)
+    assert np.array_equal(depth, REFERENCE)
+    assert result.sim_seconds > 0

@@ -1,0 +1,82 @@
+"""Post-run analysis helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.core.analysis import bottleneck_report, load_imbalance, per_node_work
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, KroneckerGenerator
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+
+
+def run_one(config=CFG, scale=10, nodes=8):
+    edges = KroneckerGenerator(scale=scale, seed=61).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(edges, nodes, config=config, nodes_per_super_node=4)
+    bfs.run(root)
+    return bfs
+
+
+def test_per_node_work_shape_and_positivity():
+    bfs = run_one()
+    work = per_node_work(bfs)
+    assert work.shape == (8,)
+    assert (work > 0).all()  # every node at least handled markers
+    clusters_only = per_node_work(bfs, kinds=("C",))
+    mpes_only = per_node_work(bfs, kinds=("M",))
+    assert np.allclose(work, clusters_only + mpes_only)
+
+
+def test_load_imbalance_report():
+    bfs = run_one()
+    rep = load_imbalance(bfs)
+    assert rep.min_work <= rep.mean_work <= rep.max_work
+    assert rep.factor >= 1.0
+
+
+def test_load_imbalance_requires_a_run():
+    edges = KroneckerGenerator(scale=8, seed=1).generate()
+    bfs = DistributedBFS(edges, 4, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ConfigError):
+        load_imbalance(bfs)
+
+
+def test_bottleneck_report_sorted_and_complete():
+    bfs = run_one()
+    rep = bottleneck_report(bfs)
+    values = list(rep.values())
+    assert values == sorted(values, reverse=True)
+    # All eight unit kinds appear.
+    assert set(rep) == {"M0", "M1", "M2", "M3", "C0", "C1", "C2", "C3"}
+
+
+def test_mpe_mode_bottleneck_is_an_mpe():
+    cfg = BFSConfig(
+        use_cpe_clusters=False, hub_count_topdown=16, hub_count_bottomup=16
+    )
+    bfs = run_one(config=cfg)
+    rep = bottleneck_report(bfs)
+    top = next(iter(rep))
+    assert top.startswith("M")
+    assert rep["C0"] == 0.0
+
+
+def test_balanced_partition_flattens_cluster_work():
+    edges = KroneckerGenerator(scale=12, seed=83, permute_vertices=False).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    factors = {}
+    for mode in ("block", "balanced"):
+        cfg = BFSConfig(
+            partition_mode=mode,
+            use_hub_prefetch=False,
+            direction_optimizing=False,
+            quick_path_threshold=0,
+        )
+        bfs = DistributedBFS(edges, 8, config=cfg, nodes_per_super_node=4)
+        bfs.run(root)
+        factors[mode] = load_imbalance(bfs, kinds=("C",)).factor
+    assert factors["balanced"] < factors["block"]

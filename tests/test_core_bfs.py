@@ -1,0 +1,244 @@
+"""End-to-end distributed BFS tests: correctness, traces, failure modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import VARIANTS, make_variant
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError, ConnectionMemoryExhausted, SpmOverflow
+from repro.graph import CSRGraph, EdgeList, KroneckerGenerator
+from repro.graph.generators import erdos_renyi_edges, grid_edges, ring_edges, star_edges
+from repro.graph500.reference import reference_depths
+from repro.graph500.validate import validate_bfs_result
+
+#: Small hub counts so toy graphs still exercise the message paths.
+TEST_CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+
+
+def check(edges, nodes, root, config=TEST_CFG, nps=4, **kw):
+    graph = CSRGraph.from_edges(edges)
+    bfs = DistributedBFS(edges, nodes, config=config, nodes_per_super_node=nps, **kw)
+    result = bfs.run(root)
+    depth = validate_bfs_result(graph, edges, root, result.parent)
+    ref = reference_depths(graph, root)
+    assert np.array_equal(depth, ref)
+    return bfs, result
+
+
+def first_root(edges):
+    g = CSRGraph.from_edges(edges)
+    return int(np.flatnonzero(g.degrees() > 0)[0])
+
+
+# ---------------------------------------------------------------- correctness --
+def test_kronecker_all_variants_validate():
+    edges = KroneckerGenerator(scale=10, seed=1).generate()
+    root = first_root(edges)
+    graph = CSRGraph.from_edges(edges)
+    ref = reference_depths(graph, root)
+    for name in VARIANTS:
+        bfs = make_variant(name, edges, 8, config=TEST_CFG, nodes_per_super_node=4)
+        result = bfs.run(root)
+        depth = validate_bfs_result(graph, edges, root, result.parent)
+        assert np.array_equal(depth, ref), name
+
+
+def test_ring_deep_graph():
+    edges = ring_edges(64)
+    check(edges, 4, 0)
+
+
+def test_star_hub_workload():
+    check(star_edges(128), 8, 0)
+    check(star_edges(128), 8, 77)  # from a leaf
+
+
+def test_grid_moderate_diameter():
+    check(grid_edges(16, 16), 8, 0)
+
+
+def test_disconnected_graph_leaves_other_components_untouched():
+    e = EdgeList(np.array([0, 1, 40, 41]), np.array([1, 2, 41, 42]), 64)
+    bfs, result = check(e, 4, 0)
+    assert result.parent[40] == -1
+    assert result.parent[42] == -1
+    assert (result.parent >= 0).sum() == 3
+
+
+def test_single_node_degenerate():
+    edges = KroneckerGenerator(scale=8, seed=5).generate()
+    check(edges, 1, first_root(edges), nps=1)
+
+
+def test_two_nodes():
+    edges = KroneckerGenerator(scale=8, seed=5).generate()
+    check(edges, 2, first_root(edges), nps=2)
+
+
+def test_many_nodes_small_graph():
+    edges = KroneckerGenerator(scale=8, seed=6).generate()
+    check(edges, 16, first_root(edges), nps=4)
+
+
+def test_multiple_roots_reuse_instance():
+    edges = KroneckerGenerator(scale=9, seed=7).generate()
+    graph = CSRGraph.from_edges(edges)
+    bfs = DistributedBFS(edges, 4, config=TEST_CFG, nodes_per_super_node=2)
+    roots = np.flatnonzero(graph.degrees() > 0)[:4]
+    last_end = 0.0
+    for root in roots:
+        result = bfs.run(int(root))
+        validate_bfs_result(graph, edges, int(root), result.parent)
+        # Per-root windows never overlap.
+        assert result.traces[0].start >= last_end
+        last_end = result.traces[-1].finish
+        assert result.sim_seconds > 0
+
+
+def test_erdos_renyi_uniform_degrees():
+    edges = erdos_renyi_edges(512, 6.0, seed=3)
+    check(edges, 8, first_root(edges))
+
+
+# -------------------------------------------------------------- configurations --
+def test_pure_topdown_matches_reference():
+    cfg = BFSConfig(
+        direction_optimizing=False,
+        use_hub_prefetch=False,
+        hub_count_topdown=8,
+        hub_count_bottomup=8,
+    )
+    edges = KroneckerGenerator(scale=10, seed=2).generate()
+    _, result = check(edges, 8, first_root(edges), config=cfg)
+    assert all(t.direction == "topdown" for t in result.traces)
+
+
+def test_hub_prefetch_reduces_records():
+    edges = KroneckerGenerator(scale=11, seed=3).generate()
+    root = first_root(edges)
+    no_hubs = BFSConfig(use_hub_prefetch=False)
+    with_hubs = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    _, r_plain = check(edges, 8, root, config=no_hubs)
+    _, r_hubs = check(edges, 8, root, config=with_hubs)
+    assert r_hubs.stats["hub_settled"] > 0
+    assert r_hubs.stats["records_sent"] < r_plain.stats["records_sent"]
+
+
+def test_direction_optimization_switches_and_saves_records():
+    edges = KroneckerGenerator(scale=11, seed=4).generate()
+    root = first_root(edges)
+    hybrid = BFSConfig(use_hub_prefetch=False)
+    plain = BFSConfig(direction_optimizing=False, use_hub_prefetch=False)
+    _, r_hybrid = check(edges, 8, root, config=hybrid)
+    _, r_plain = check(edges, 8, root, config=plain)
+    assert r_hybrid.stats["bu_levels"] >= 1
+    assert r_hybrid.stats["records_sent"] < r_plain.stats["records_sent"]
+
+
+def test_bottomup_full_flush_variant():
+    cfg = BFSConfig(bottomup_chunk=0, hub_count_topdown=8, hub_count_bottomup=8)
+    edges = KroneckerGenerator(scale=10, seed=8).generate()
+    check(edges, 8, first_root(edges), config=cfg)
+
+
+def test_block_partition_mode():
+    cfg = BFSConfig(
+        partition_mode="block", hub_count_topdown=8, hub_count_bottomup=8
+    )
+    edges = KroneckerGenerator(scale=10, seed=9).generate()
+    check(edges, 8, first_root(edges), config=cfg)
+
+
+def test_custom_group_width():
+    cfg = BFSConfig(group_width=2, hub_count_topdown=8, hub_count_bottomup=8)
+    edges = KroneckerGenerator(scale=10, seed=10).generate()
+    check(edges, 8, first_root(edges), config=cfg)
+
+
+# ------------------------------------------------------------------- traces --
+def test_traces_are_complete_and_ordered():
+    edges = KroneckerGenerator(scale=10, seed=11).generate()
+    _, result = check(edges, 8, first_root(edges))
+    assert len(result.traces) == result.levels
+    for a, b in zip(result.traces, result.traces[1:]):
+        assert b.start >= a.finish
+        assert b.level == a.level + 1
+    assert result.traces[0].frontier_vertices == 1
+    total_records = sum(t.records_sent for t in result.traces)
+    assert total_records == result.stats["records_sent"]
+
+
+def test_depths_accessor():
+    edges = ring_edges(16)
+    _, result = check(edges, 4, 0)
+    d = result.depths()
+    assert d[0] == 0 and d.max() == 8
+
+
+# --------------------------------------------------------------- failure modes --
+def test_direct_cpe_spm_overflow_at_scale():
+    """Direct CPE needs per-destination staging for every node: at 1024
+    nodes the 64 KB SPM can't hold it (Figure 11's crash)."""
+    edges = KroneckerGenerator(scale=11, seed=1).generate()
+    cfg = BFSConfig(use_relay=False, hub_count_topdown=8, hub_count_bottomup=8)
+    with pytest.raises(SpmOverflow):
+        DistributedBFS(edges, 1024, config=cfg, nodes_per_super_node=256)
+
+
+def test_direct_connection_exhaustion_at_scale():
+    """Direct messaging at 16,384 nodes exceeds the MPI memory budget."""
+    edges = KroneckerGenerator(scale=15, seed=1).generate()
+    cfg = BFSConfig(
+        use_relay=False,
+        use_cpe_clusters=False,  # dodge the SPM crash to reach this one
+        hub_count_topdown=8,
+        hub_count_bottomup=8,
+    )
+    with pytest.raises(ConnectionMemoryExhausted):
+        DistributedBFS(edges, 16_384, config=cfg, nodes_per_super_node=256)
+
+
+def test_relay_survives_both_failure_modes():
+    """The paper's final variant constructs fine at the same scales."""
+    edges = KroneckerGenerator(scale=15, seed=1).generate()
+    cfg = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+    bfs = DistributedBFS(edges, 16_384, config=cfg, nodes_per_super_node=256)
+    assert bfs.shuffle_plan is not None
+
+
+def test_validation_errors():
+    edges = KroneckerGenerator(scale=8, seed=1).generate()
+    with pytest.raises(ConfigError):
+        DistributedBFS(edges, 0)
+    with pytest.raises(ConfigError):
+        DistributedBFS(edges, 8, config=BFSConfig(partition_mode="cyclic"))
+    bfs = DistributedBFS(edges, 4, config=TEST_CFG, nodes_per_super_node=2)
+    with pytest.raises(ConfigError):
+        bfs.run(1 << 20)
+
+
+# ------------------------------------------------------------------ properties --
+@settings(max_examples=10, deadline=None)
+@given(
+    scale=st.integers(min_value=6, max_value=9),
+    nodes=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=1000),
+    relay=st.booleans(),
+    cpe=st.booleans(),
+)
+def test_every_configuration_matches_reference_depths(scale, nodes, seed, relay, cpe):
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    candidates = np.flatnonzero(graph.degrees() > 0)
+    root = int(candidates[seed % len(candidates)])
+    cfg = BFSConfig(
+        use_relay=relay,
+        use_cpe_clusters=cpe,
+        hub_count_topdown=4,
+        hub_count_bottomup=4,
+    )
+    bfs = DistributedBFS(edges, nodes, config=cfg, nodes_per_super_node=2)
+    result = bfs.run(root)
+    depth = validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(depth, reference_depths(graph, root))

@@ -1,0 +1,157 @@
+"""Extended BFS tests: determinism, utilisation, compression, fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ValidationError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph.generators import ring_edges
+from repro.graph500.validate import validate_bfs_result
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+
+
+def make_bfs(scale=10, seed=13, nodes=8, config=CFG):
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(edges, nodes, config=config, nodes_per_super_node=4)
+    return edges, graph, root, bfs
+
+
+# ------------------------------------------------------------- determinism --
+def test_identical_runs_produce_identical_traces():
+    _, _, root, bfs1 = make_bfs()
+    _, _, _, bfs2 = make_bfs()
+    r1, r2 = bfs1.run(root), bfs2.run(root)
+    assert np.array_equal(r1.parent, r2.parent)
+    assert r1.sim_seconds == r2.sim_seconds
+    assert [t.direction for t in r1.traces] == [t.direction for t in r2.traces]
+    assert [t.records_sent for t in r1.traces] == [t.records_sent for t in r2.traces]
+    assert r1.stats == r2.stats
+
+
+def test_rerunning_same_root_is_stable():
+    _, _, root, bfs = make_bfs()
+    r1 = bfs.run(root)
+    r2 = bfs.run(root)
+    assert np.array_equal(r1.parent, r2.parent)
+    assert r1.sim_seconds == pytest.approx(r2.sim_seconds, rel=1e-9)
+
+
+# ------------------------------------------------------------- utilisation --
+def test_utilization_reports_every_unit():
+    _, _, root, bfs = make_bfs()
+    bfs.run(root)
+    util = bfs.utilization()
+    # 8 nodes x 8 units each.
+    assert len(util) == 8 * 8
+    assert all(0.0 <= u <= 1.0 for u in util.values())
+    # Communication MPEs did work.
+    assert util["node0.M0"] > 0
+    assert util["node0.M1"] > 0
+
+
+def test_utilization_by_kind_cpe_vs_mpe_mode():
+    """CPE mode loads clusters; MPE mode loads the aux MPEs instead."""
+    big = BFSConfig(
+        hub_count_topdown=16, hub_count_bottomup=16, quick_path_threshold=0
+    )
+    _, _, root, cpe_bfs = make_bfs(scale=12, config=big)
+    cpe_bfs.run(root)
+    cpe = cpe_bfs.utilization_by_unit_kind()
+    mpe_cfg = BFSConfig(
+        use_cpe_clusters=False, hub_count_topdown=16, hub_count_bottomup=16
+    )
+    _, _, root2, mpe_bfs = make_bfs(scale=12, config=mpe_cfg)
+    mpe_bfs.run(root2)
+    mpe = mpe_bfs.utilization_by_unit_kind()
+    cluster_keys = [k for k in cpe if k.startswith("C")]
+    assert sum(cpe[k] for k in cluster_keys) > 0
+    assert sum(mpe[k] for k in cluster_keys) == 0  # MPE mode never uses them
+    assert mpe["M2"] + mpe["M3"] > cpe["M2"] + cpe["M3"]
+
+
+# -------------------------------------------------------------- compression --
+def test_compression_reduces_wire_bytes_not_results():
+    edges, graph, root, plain_bfs = make_bfs(seed=29)
+    plain = plain_bfs.run(root)
+    comp_cfg = BFSConfig(
+        compression_ratio=4.0, hub_count_topdown=16, hub_count_bottomup=16
+    )
+    comp_bfs = DistributedBFS(edges, 8, config=comp_cfg, nodes_per_super_node=4)
+    comp = comp_bfs.run(root)
+    validate_bfs_result(graph, edges, root, comp.parent)
+    assert np.array_equal(comp.depths(), plain.depths())
+    assert comp.stats["bytes"] < plain.stats["bytes"]
+    assert comp.stats["messages"] == plain.stats["messages"]
+
+
+def test_compression_ratio_validation():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        BFSConfig(compression_ratio=0.5)
+
+
+# ---------------------------------------------------------- fault injection --
+def test_validation_catches_dropped_message():
+    """If the runtime silently lost a handler update, validation screams."""
+    edges, graph, root, bfs = make_bfs(seed=31)
+    result = bfs.run(root)
+    corrupted = result.parent.copy()
+    # Simulate a lost forward message: one tree leaf never got its parent.
+    reached = np.flatnonzero((corrupted >= 0) & (np.arange(len(corrupted)) != root))
+    leaves = np.setdiff1d(reached, corrupted)
+    corrupted[leaves[0]] = -1
+    with pytest.raises(ValidationError):
+        validate_bfs_result(graph, edges, root, corrupted)
+
+
+def test_validation_catches_misrouted_record():
+    """A record applied at the wrong owner produces a non-edge parent."""
+    edges, graph, root, bfs = make_bfs(seed=33)
+    result = bfs.run(root)
+    corrupted = result.parent.copy()
+    depth = result.depths()
+    for v in np.flatnonzero(corrupted >= 0):
+        if v == root:
+            continue
+        wrong = [
+            int(u)
+            for u in np.flatnonzero(depth == depth[v] - 1)
+            if not graph.has_edge(int(u), int(v))
+        ]
+        if wrong:
+            corrupted[v] = wrong[0]
+            break
+    else:
+        pytest.skip("no corruptible vertex found")
+    with pytest.raises(ValidationError):
+        validate_bfs_result(graph, edges, root, corrupted)
+
+
+# --------------------------------------------------------------- edge cases --
+def test_root_is_a_hub():
+    edges, graph, _, bfs = make_bfs(seed=35)
+    assert bfs.hubs is not None
+    root = int(bfs.hubs.hub_ids[0])
+    result = bfs.run(root)
+    validate_bfs_result(graph, edges, root, result.parent)
+
+
+def test_ring_no_direction_switch():
+    """Uniform degree-2 graphs should stay top-down throughout."""
+    edges = ring_edges(256)
+    bfs = DistributedBFS(edges, 4, config=CFG, nodes_per_super_node=2)
+    result = bfs.run(0)
+    assert result.levels == 129  # radius 128 + the final empty check level
+    assert all(t.direction == "topdown" for t in result.traces[:5])
+
+
+def test_construction_estimate_positive_and_scaling():
+    edges = KroneckerGenerator(scale=10, seed=1).generate()
+    small = DistributedBFS(edges, 2, config=CFG, nodes_per_super_node=2)
+    large = DistributedBFS(edges, 8, config=CFG, nodes_per_super_node=2)
+    assert small.construction_seconds > large.construction_seconds > 0

@@ -1,0 +1,68 @@
+"""BFSConfig / RoleLayout tests."""
+
+import pytest
+
+from repro.core import BFSConfig, RoleLayout
+from repro.errors import ConfigError
+
+
+def test_default_variant_is_the_paper_system():
+    cfg = BFSConfig()
+    assert cfg.variant_name == "relay-cpe"
+    assert cfg.direction_optimizing
+    assert cfg.use_hub_prefetch
+    assert cfg.quick_path_threshold == 1024
+
+
+def test_variant_names():
+    assert BFSConfig(use_relay=False).variant_name == "direct-cpe"
+    assert BFSConfig(use_cpe_clusters=False).variant_name == "relay-mpe"
+    assert (
+        BFSConfig(use_relay=False, use_cpe_clusters=False).variant_name
+        == "direct-mpe"
+    )
+
+
+def test_default_roles_match_figure6():
+    r = RoleLayout()
+    assert (r.producer_cols, r.router_cols, r.consumer_cols) == (4, 2, 2)
+    assert r.n_producers == 32
+    assert r.n_routers == 16
+    assert r.n_consumers == 16
+    assert r.router_columns() == (4, 5)
+    assert len(r.producer_positions()) == 32
+    assert all(c >= 6 for _, c in r.consumer_positions())
+
+
+def test_role_layout_validation():
+    with pytest.raises(ConfigError):
+        RoleLayout(producer_cols=5, router_cols=2, consumer_cols=2)  # > 8 cols
+    with pytest.raises(ConfigError):
+        RoleLayout(producer_cols=6, router_cols=1, consumer_cols=1)  # 1 router col
+    with pytest.raises(ConfigError):
+        RoleLayout(producer_cols=0, router_cols=4, consumer_cols=4)
+
+
+def test_max_shuffle_destinations_matches_paper_claim():
+    # Section 4.3: "we can handle up to 1024 destinations in practice".
+    cfg = BFSConfig()
+    assert 512 <= cfg.max_shuffle_destinations() <= 1024
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        BFSConfig(alpha=0)
+    with pytest.raises(ConfigError):
+        BFSConfig(beta=-1)
+    with pytest.raises(ConfigError):
+        BFSConfig(record_bytes=0)
+    with pytest.raises(ConfigError):
+        BFSConfig(hub_count_topdown=-1)
+    with pytest.raises(ConfigError):
+        BFSConfig(quick_path_threshold=-5)
+    with pytest.raises(ConfigError):
+        BFSConfig(bottomup_max_subrounds=0)
+    with pytest.raises(ConfigError):
+        BFSConfig(group_width=0)
+    with pytest.raises(ConfigError):
+        BFSConfig(hub_fraction_cap=0.0)

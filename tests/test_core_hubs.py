@@ -1,0 +1,85 @@
+"""Hub directory tests."""
+
+import numpy as np
+
+from repro.graph import CSRGraph, Partition1D
+from repro.graph.generators import star_edges
+from repro.graph import KroneckerGenerator
+from repro.core.hubs import HubDirectory
+
+
+def make_directory(hubs_per_node=4, scale=10, parts=4):
+    edges = KroneckerGenerator(scale=scale, seed=3).generate()
+    graph = CSRGraph.from_edges(edges)
+    partition = Partition1D(graph.num_vertices, parts, mode="block")
+    return graph, partition, HubDirectory(graph, partition, hubs_per_node)
+
+
+def test_hubs_are_top_degree_per_node():
+    graph, partition, hubs = make_directory(hubs_per_node=4)
+    degrees = graph.degrees()
+    for part in range(partition.num_parts):
+        owned = partition.global_ids(part)
+        owned_hubs = [int(h) for h in hubs.hub_ids if partition.owner(int(h)) == part]
+        assert len(owned_hubs) <= 4
+        if owned_hubs:
+            worst_hub_degree = min(degrees[h] for h in owned_hubs)
+            non_hubs = np.setdiff1d(owned, owned_hubs)
+            assert worst_hub_degree >= degrees[non_hubs].max() or len(non_hubs) == 0
+
+
+def test_zero_degree_vertices_never_hubs():
+    graph, _, hubs = make_directory(hubs_per_node=1000)
+    assert np.all(graph.degrees()[hubs.hub_ids] > 0)
+
+
+def test_slot_lookup_roundtrip():
+    _, _, hubs = make_directory()
+    for slot, v in enumerate(hubs.hub_ids):
+        assert hubs.slot_of[v] == slot
+    assert np.all(hubs.slot_of[hubs.slot_of >= 0] < hubs.num_hubs)
+
+
+def test_frontier_update_and_queries():
+    graph, _, hubs = make_directory(hubs_per_node=4)
+    frontier = hubs.hub_ids[:3]
+    count = hubs.update_frontier(frontier)
+    assert count == 3
+    assert hubs.hub_in_frontier(frontier).all()
+    assert hubs.hub_visited(frontier).all()
+    others = hubs.hub_ids[3:]
+    if len(others):
+        assert not hubs.hub_in_frontier(others).any()
+    # Non-hub vertices always answer False.
+    non_hub = np.flatnonzero(hubs.slot_of < 0)[:5]
+    assert not hubs.hub_in_frontier(non_hub).any()
+
+
+def test_visited_accumulates_across_levels():
+    _, _, hubs = make_directory(hubs_per_node=4)
+    hubs.update_frontier(hubs.hub_ids[:1])
+    hubs.update_frontier(hubs.hub_ids[1:2])
+    assert hubs.hub_visited(hubs.hub_ids[:2]).all()
+    assert not hubs.hub_in_frontier(hubs.hub_ids[:1]).any()  # frontier moved on
+
+
+def test_reset():
+    _, _, hubs = make_directory()
+    hubs.update_frontier(hubs.hub_ids[:2])
+    hubs.reset()
+    assert hubs.frontier.count() == 0
+    assert hubs.visited.count() == 0
+
+
+def test_allgather_bytes_flag_when_empty():
+    _, partition, hubs = make_directory()
+    assert hubs.allgather_bytes(empty=True) == partition.num_parts
+    assert hubs.allgather_bytes(empty=False) == -(-hubs.num_hubs // 8)
+
+
+def test_star_graph_hub_is_the_center():
+    edges = star_edges(64)
+    graph = CSRGraph.from_edges(edges)
+    partition = Partition1D(64, 4, mode="block")
+    hubs = HubDirectory(graph, partition, 1)
+    assert 0 in hubs.hub_ids.tolist()

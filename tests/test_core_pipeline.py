@@ -1,0 +1,103 @@
+"""Pipelined module mapping tests."""
+
+import pytest
+
+from repro.core import BFSConfig
+from repro.core.pipeline import MODULE_CLUSTER, ModuleExecution, NodePipeline
+from repro.errors import ConfigError
+from repro.machine.node import SunwayNode
+
+
+def make(config=None):
+    return NodePipeline(SunwayNode(0), config or BFSConfig())
+
+
+def test_figure10_module_assignment():
+    assert MODULE_CLUSTER["forward_generator"] == MODULE_CLUSTER["backward_generator"]
+    assert MODULE_CLUSTER["forward_relay"] == MODULE_CLUSTER["backward_relay"]
+    assert MODULE_CLUSTER["forward_handler"] != MODULE_CLUSTER["backward_handler"]
+    assert set(MODULE_CLUSTER.values()) <= {0, 1, 2, 3}
+
+
+def test_large_module_runs_on_its_cluster():
+    p = make()
+    e = p.submit_module(0.0, "forward_generator", 1 << 20)
+    assert e.where.endswith("C0")
+    e2 = p.submit_module(0.0, "forward_handler", 1 << 20)
+    assert e2.where.endswith("C3")
+
+
+def test_small_module_takes_the_mpe_quick_path():
+    p = make()
+    e = p.submit_module(0.0, "forward_generator", 512)
+    assert ".M" in e.where
+
+
+def test_mpe_mode_runs_everything_on_mpes():
+    p = make(BFSConfig(use_cpe_clusters=False))
+    e = p.submit_module(0.0, "forward_generator", 1 << 20)
+    assert ".M" in e.where
+
+
+def test_cpe_mode_is_roughly_ten_times_faster_for_big_batches():
+    """The paper's 10x claim: shuffle at 10 GB/s vs MPE random access."""
+    nbytes = 1 << 24
+    cpe = make().submit_module(0.0, "forward_generator", nbytes)
+    mpe = make(BFSConfig(use_cpe_clusters=False)).submit_module(
+        0.0, "forward_generator", nbytes
+    )
+    ratio = (mpe.finish - mpe.start) / (cpe.finish - cpe.start)
+    assert 8 < ratio < 16
+
+
+def test_same_module_serialises_on_one_cluster():
+    """"No more than one CPE cluster executes the same module at any time"."""
+    p = make()
+    a = p.submit_module(0.0, "forward_generator", 1 << 20)
+    b = p.submit_module(0.0, "forward_generator", 1 << 20)
+    assert b.start >= a.finish
+    # Different modules overlap freely on their own clusters.
+    c = p.submit_module(0.0, "forward_handler", 1 << 20)
+    assert c.start == 0.0
+
+
+def test_sends_serialise_on_m0_with_message_overhead():
+    p = make()
+    t1 = p.submit_send(0.0, 1 << 20)
+    t2 = p.submit_send(0.0, 1 << 20)
+    overhead = p.node.spec.taihulight.message_overhead
+    assert t1 == pytest.approx(overhead)
+    assert t2 == pytest.approx(2 * overhead)
+
+
+def test_recv_on_m1_is_independent_of_m0():
+    p = make()
+    p.submit_send(0.0, 100)
+    t = p.submit_recv(0.0)
+    assert t == pytest.approx(p.node.spec.taihulight.message_overhead)
+
+
+def test_ready_fraction_interpolates():
+    e = ModuleExecution("forward_generator", 1.0, 3.0, "x", 100)
+    assert e.ready_fraction(0.0) == 1.0
+    assert e.ready_fraction(0.5) == 2.0
+    assert e.ready_fraction(1.0) == 3.0
+    with pytest.raises(ConfigError):
+        e.ready_fraction(1.5)
+
+
+def test_unknown_module_rejected():
+    with pytest.raises(ConfigError):
+        make().submit_module(0.0, "bogus", 100)
+    with pytest.raises(ConfigError):
+        make().submit_module(0.0, "forward_generator", -1)
+
+
+def test_busy_times_reported():
+    p = make()
+    p.submit_module(0.0, "forward_generator", 1 << 20)
+    p.submit_send(0.0, 100)
+    busy = p.busy_times()
+    assert busy["node0.C0"] > 0
+    assert busy["node0.M0"] > 0
+    assert busy["node0.C1"] == 0

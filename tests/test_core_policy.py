@@ -1,0 +1,56 @@
+"""Direction-policy tests (Beamer heuristic with hysteresis)."""
+
+import pytest
+
+from repro.core import Direction, TraversalPolicy
+from repro.errors import ConfigError
+
+
+def test_starts_top_down():
+    p = TraversalPolicy()
+    assert p.state is Direction.TOP_DOWN
+    assert p.decide(1, 10, 10_000_000, 1_000_000) is Direction.TOP_DOWN
+
+
+def test_switches_to_bottom_up_on_heavy_frontier():
+    p = TraversalPolicy(alpha=14)
+    # m_f > m_u / alpha triggers the switch.
+    assert p.decide(1000, 2000, 14_000, 10_000) is Direction.BOTTOM_UP
+
+
+def test_switches_back_on_small_frontier():
+    p = TraversalPolicy(alpha=14, beta=24)
+    p.decide(1000, 2000, 14_000, 10_000)
+    assert p.state is Direction.BOTTOM_UP
+    # Stays bottom-up while the frontier is sizeable...
+    assert p.decide(5000, 1, 1, 10_000) is Direction.BOTTOM_UP
+    # ...returns to top-down when n_f < n / beta.
+    assert p.decide(100, 1, 1, 10_000) is Direction.TOP_DOWN
+
+
+def test_hysteresis_keeps_state():
+    p = TraversalPolicy(alpha=14, beta=24)
+    p.decide(1000, 2000, 14_000, 10_000)  # -> bottom-up
+    # A frontier that wouldn't trigger the TD->BU switch doesn't flip back
+    # unless the BU->TD rule fires.
+    assert p.decide(1000, 1, 10**9, 10_000) is Direction.BOTTOM_UP
+
+
+def test_disabled_policy_always_top_down():
+    p = TraversalPolicy(enabled=False)
+    assert p.decide(1000, 10**9, 1, 10_000) is Direction.TOP_DOWN
+
+
+def test_reset():
+    p = TraversalPolicy()
+    p.decide(1000, 2000, 14_000, 10_000)
+    p.reset()
+    assert p.state is Direction.TOP_DOWN
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        TraversalPolicy(alpha=0)
+    p = TraversalPolicy()
+    with pytest.raises(ConfigError):
+        p.decide(-1, 0, 0, 10)

@@ -1,0 +1,57 @@
+"""Preset tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.core.presets import paper, textbook, toy, with_compression
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+
+
+def test_paper_preset_is_the_defaults():
+    assert paper() == BFSConfig()
+    assert paper().variant_name == "relay-cpe"
+    assert paper().hub_count_topdown == 1 << 12
+    assert paper().hub_count_bottomup == 1 << 14
+
+
+def test_toy_scales_hubs_down():
+    cfg = toy(8)
+    assert cfg.hub_count_topdown == cfg.hub_count_bottomup == 8
+    assert cfg.use_relay and cfg.use_cpe_clusters  # everything else intact
+    with pytest.raises(ConfigError):
+        toy(0)
+
+
+def test_toy_composes_with_base():
+    base = BFSConfig(use_relay=False)
+    cfg = toy(4, base=base)
+    assert not cfg.use_relay
+    assert cfg.hub_count_topdown == 4
+
+
+def test_with_compression_codec_and_ratio():
+    codec = with_compression()
+    assert codec.use_codec and codec.compression_ratio == 1.0
+    fixed = with_compression(2.0)
+    assert not fixed.use_codec and fixed.compression_ratio == 2.0
+
+
+def test_textbook_is_fully_stripped():
+    cfg = textbook()
+    assert not cfg.use_relay
+    assert not cfg.direction_optimizing
+    assert not cfg.use_hub_prefetch
+    assert cfg.variant_name == "direct-cpe"
+
+
+def test_presets_all_produce_valid_traversals():
+    edges = KroneckerGenerator(scale=9, seed=77).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    for cfg in (toy(8), with_compression(base=toy(8)), textbook()):
+        bfs = DistributedBFS(edges, 4, config=cfg, nodes_per_super_node=2)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)

@@ -1,0 +1,140 @@
+"""NodeState functional-operation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig
+from repro.core.pipeline import NodePipeline
+from repro.core.runtime import NodeState, expand_chunks
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, EdgeList
+from repro.machine.node import SunwayNode
+
+
+def make_state(lo=0, hi=6):
+    # Path graph 0-1-2-3-4-5 plus edge 0-5.
+    edges = EdgeList(
+        np.array([0, 1, 2, 3, 4, 0]), np.array([1, 2, 3, 4, 5, 5]), 6
+    )
+    g = CSRGraph.from_edges(edges)
+    return NodeState(
+        0, lo, hi, g.row_slice(lo, hi), NodePipeline(SunwayNode(0), BFSConfig())
+    )
+
+
+def test_seed_root_and_advance():
+    s = make_state()
+    s.seed_root(2)
+    assert s.parent[2] == 2
+    assert s.curr.tolist() == [2]
+    assert s.curr_mask[2]
+
+
+def test_seed_root_not_owned():
+    s = make_state(lo=0, hi=3)
+    with pytest.raises(ConfigError):
+        s.seed_root(4)
+
+
+def test_apply_forward_first_writer_wins():
+    s = make_state()
+    s.seed_root(0)
+    settled = s.apply_forward(np.array([0, 5, 0]), np.array([1, 1, 5]))
+    assert settled == 2  # vertices 1 and 5, each once
+    assert s.parent[1] == 0  # first record for vertex 1 wins
+    assert s.parent[5] == 0
+    assert s.next_mask[1] and s.next_mask[5]
+    # Re-delivery is a no-op.
+    assert s.apply_forward(np.array([9]), np.array([1])) == 0
+    assert s.parent[1] == 0
+
+
+def test_apply_forward_rejects_foreign_vertices():
+    s = make_state(lo=0, hi=3)
+    with pytest.raises(ConfigError):
+        s.apply_forward(np.array([0]), np.array([5]))
+
+
+def test_match_backward_filters_by_frontier():
+    s = make_state()
+    s.seed_root(2)
+    u = np.array([2, 3, 2])
+    v = np.array([10, 11, 12])
+    mu, mv = s.match_backward(u, v)
+    assert mu.tolist() == [2, 2]
+    assert mv.tolist() == [10, 12]
+
+
+def test_advance_level_promotes_next():
+    s = make_state()
+    s.seed_root(0)
+    s.apply_forward(np.array([0, 0]), np.array([1, 5]))
+    n = s.advance_level()
+    assert n == 2
+    assert s.curr.tolist() == [1, 5]
+    assert not s.next_mask.any()
+    assert s.bu_cursor.tolist() == [0] * 6
+
+
+def test_frontier_stats():
+    s = make_state()
+    s.seed_root(0)
+    n_f, m_f, m_u = s.frontier_stats()
+    assert n_f == 1
+    assert m_f == 2  # vertex 0 has neighbours 1 and 5
+    assert m_u == int(s.local_degrees.sum()) - 2
+
+
+def test_bu_expand_chunking_and_cursors():
+    s = make_state()
+    s.seed_root(0)
+    u1, v1 = s.bu_expand(chunk=1)
+    # Every unvisited vertex (1..5) emits exactly its first neighbour.
+    assert len(v1) == 5
+    u2, v2 = s.bu_expand(chunk=1)
+    # Second round: vertices with >= 2 neighbours emit their second.
+    assert 0 < len(v2) <= 5
+    assert not set(zip(u1.tolist(), v1.tolist())) & set(zip(u2.tolist(), v2.tolist()))
+
+
+def test_bu_expand_chunk_zero_takes_everything():
+    s = make_state()
+    s.seed_root(0)
+    u, v = s.bu_expand(chunk=0)
+    degrees = s.local_degrees
+    assert len(u) == int(degrees.sum()) - degrees[0]
+    assert len(s.bu_remaining()) == 0
+
+
+def test_bu_remaining_excludes_settled():
+    s = make_state()
+    s.seed_root(0)
+    s.apply_forward(np.array([0, 0]), np.array([1, 5]))
+    assert 1 not in s.bu_remaining().tolist()
+    assert 5 not in s.bu_remaining().tolist()
+
+
+def test_expand_chunks_helper():
+    edges = EdgeList(np.array([0, 0, 0, 1]), np.array([1, 2, 3, 2]), 4)
+    g = CSRGraph.from_edges(edges, symmetrize=False)
+    verts = np.array([0, 1])
+    cursors = np.array([1, 0])
+    src, tgt, taken = expand_chunks(g, verts, cursors, chunk=2)
+    assert taken.tolist() == [2, 1]
+    assert src.tolist() == [0, 0, 1]
+    assert tgt.tolist() == [2, 3, 2]
+    with pytest.raises(ConfigError):
+        expand_chunks(g, verts, np.array([0]), 1)
+
+
+def test_reset_clears_everything():
+    s = make_state()
+    s.seed_root(0)
+    s.apply_forward(np.array([0]), np.array([1]))
+    s.bu_expand(2)
+    s.reset()
+    assert (s.parent == -1).all()
+    assert len(s.curr) == 0
+    assert not s.curr_mask.any()
+    assert not s.next_mask.any()
+    assert (s.bu_cursor == 0).all()

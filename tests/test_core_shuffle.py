@@ -1,0 +1,109 @@
+"""Contention-free shuffle plan tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BFSConfig, ShufflePlan
+from repro.core.config import RoleLayout
+from repro.errors import ConfigError, SpmOverflow
+from repro.machine.cluster import CpeCluster
+
+
+def test_default_plan_is_deadlock_free():
+    plan = ShufflePlan(RoleLayout(), num_destinations=64)
+    assert plan.verify_deadlock_free()
+
+
+def test_alternate_role_split_is_deadlock_free():
+    plan = ShufflePlan(
+        RoleLayout(producer_cols=3, router_cols=2, consumer_cols=3),
+        num_destinations=100,
+    )
+    assert plan.verify_deadlock_free()
+
+
+def test_routes_move_east_then_vertical_then_east():
+    plan = ShufflePlan(RoleLayout(), num_destinations=16)
+    route = plan.route((7, 0), 0)
+    cols = [c for _, c in route.stops]
+    assert cols == sorted(cols)  # never moves west
+    rows = [r for r, _ in route.stops]
+    assert len(set(rows)) <= 2  # one vertical move at most
+
+
+def test_consumer_ownership_is_disjoint_and_total():
+    plan = ShufflePlan(RoleLayout(), num_destinations=100)
+    owners = [plan.consumer_for(d) for d in range(100)]
+    # Round-robin: each of the 16 consumers owns ceil/floor(100/16) dests.
+    from collections import Counter
+
+    counts = Counter(owners)
+    assert set(counts.values()) <= {6, 7}
+    assert sum(counts.values()) == 100
+
+
+def test_spm_feasibility_limits_destinations():
+    # 16 consumers x (64K - 4K)/1K buffers = 960 destinations max.
+    ShufflePlan(RoleLayout(), num_destinations=960)
+    with pytest.raises(SpmOverflow):
+        ShufflePlan(RoleLayout(), num_destinations=1024)
+
+
+def test_direct_cpe_crash_scale():
+    """The Figure 11 Direct-CPE story: 256 nodes fit, 1024 don't."""
+    cfg = BFSConfig()
+    ShufflePlan.from_config(cfg, 256)
+    with pytest.raises(SpmOverflow):
+        ShufflePlan.from_config(cfg, 1024)
+
+
+def test_shuffle_time_uses_cluster_model():
+    plan = ShufflePlan(RoleLayout(), num_destinations=8)
+    cluster = CpeCluster()
+    t = plan.shuffle_time(10e9, cluster)  # one second at 10 GB/s
+    assert t == pytest.approx(1.0, rel=0.01)
+
+
+def test_micro_benchmark_runs_and_is_positive():
+    plan = ShufflePlan(RoleLayout(), num_destinations=16)
+    thr = plan.micro_benchmark_throughput(records_per_flow=16)
+    assert thr > 0
+
+
+def test_bucket_groups_stably():
+    dest = np.array([2, 0, 2, 1, 0], dtype=np.int64)
+    order, offsets = ShufflePlan.bucket(dest, 3)
+    assert offsets.tolist() == [0, 2, 3, 5]
+    # Destination 0's records keep their original relative order (1, 4).
+    assert order[0:2].tolist() == [1, 4]
+    assert order[2:3].tolist() == [3]
+    assert order[3:5].tolist() == [0, 2]
+
+
+def test_bucket_validation():
+    with pytest.raises(ConfigError):
+        ShufflePlan.bucket(np.array([3]), 3)
+    with pytest.raises(ConfigError):
+        ShufflePlan(RoleLayout(), num_destinations=0)
+    plan = ShufflePlan(RoleLayout(), num_destinations=4)
+    with pytest.raises(ConfigError):
+        plan.consumer_for(4)
+    with pytest.raises(ConfigError):
+        plan.route((0, 7), 0)  # not a producer position
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.lists(st.integers(0, 399), min_size=0, max_size=200),
+)
+def test_bucket_is_a_permutation_with_correct_slices(ndest, dests):
+    dests = [d % ndest for d in dests]
+    arr = np.array(dests, dtype=np.int64)
+    order, offsets = ShufflePlan.bucket(arr, ndest)
+    assert sorted(order.tolist()) == list(range(len(arr)))
+    shuffled = arr[order]
+    for d in range(ndest):
+        segment = shuffled[offsets[d] : offsets[d + 1]]
+        assert np.all(segment == d)

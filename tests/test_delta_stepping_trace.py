@@ -1,0 +1,109 @@
+"""Delta-stepping SSSP and trace-export tests."""
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import DistributedSSSP, edge_weight
+from repro.algorithms.delta_stepping import DistributedDeltaStepping
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph.generators import grid_edges, ring_edges
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+KW = dict(config=CFG, nodes_per_super_node=2)
+
+
+# -------------------------------------------------------------- delta stepping --
+def test_delta_stepping_matches_bellman_ford():
+    edges = KroneckerGenerator(scale=9, seed=13).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bf = DistributedSSSP(edges, 4, **KW).run(root)
+    ds = DistributedDeltaStepping(edges, 4, delta=2.0, **KW).run(root)
+    assert np.array_equal(
+        np.nan_to_num(bf.dist, posinf=-1), np.nan_to_num(ds.dist, posinf=-1)
+    )
+    assert ds.buckets_processed >= 1
+
+
+def test_delta_stepping_matches_dijkstra_on_grid():
+    edges = grid_edges(6, 6)
+    ds = DistributedDeltaStepping(edges, 4, delta=3.0, **KW).run(0)
+    g = nx.Graph()
+    for u, v in zip(edges.src.tolist(), edges.dst.tolist()):
+        g.add_edge(u, v, weight=float(edge_weight(np.array([u]), np.array([v]))[0]))
+    expected = nx.single_source_dijkstra_path_length(g, 0)
+    for v, d in expected.items():
+        assert ds.dist[v] == pytest.approx(d), v
+
+
+def test_various_deltas_agree():
+    edges = ring_edges(24)
+    results = [
+        DistributedDeltaStepping(edges, 2, delta=d, **KW).run(0).dist
+        for d in (1.0, 4.0, 100.0)
+    ]
+    for r in results[1:]:
+        assert np.array_equal(results[0], r)
+
+
+def test_big_delta_degenerates_to_fewer_buckets():
+    edges = KroneckerGenerator(scale=8, seed=15).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    fine = DistributedDeltaStepping(edges, 2, delta=1.0, **KW).run(root)
+    coarse = DistributedDeltaStepping(edges, 2, delta=1000.0, **KW).run(root)
+    assert coarse.buckets_processed < fine.buckets_processed
+
+
+def test_delta_validation():
+    with pytest.raises(ConfigError):
+        DistributedDeltaStepping(ring_edges(8), 2, delta=0.0)
+    with pytest.raises(ConfigError):
+        DistributedDeltaStepping(ring_edges(8), 2, max_weight=0)
+    with pytest.raises(ConfigError):
+        DistributedDeltaStepping(ring_edges(8), 2, **KW).run(99)
+
+
+# ---------------------------------------------------------------------- trace --
+def test_trace_export_contains_busy_intervals():
+    edges = KroneckerGenerator(scale=9, seed=17).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(edges, 4, config=CFG, nodes_per_super_node=2)
+    bfs.enable_tracing()
+    bfs.run(root)
+    blob = bfs.export_trace()
+    trace = json.loads(blob)
+    events = trace["traceEvents"]
+    assert len(events) > 10
+    names = {e["name"] for e in events}
+    assert "M0" in names and "M1" in names
+    pids = {e["pid"] for e in events}
+    assert pids == {f"node{i}" for i in range(4)}
+    for e in events[:50]:
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+
+
+def test_tracing_off_by_default():
+    edges = ring_edges(16)
+    bfs = DistributedBFS(edges, 2, config=CFG, nodes_per_super_node=2)
+    bfs.run(0)
+    assert json.loads(bfs.export_trace())["traceEvents"] == []
+
+
+def test_enable_tracing_is_idempotent():
+    edges = ring_edges(16)
+    bfs = DistributedBFS(edges, 2, config=CFG, nodes_per_super_node=2)
+    bfs.enable_tracing()
+    bfs.run(0)
+    n1 = len(json.loads(bfs.export_trace())["traceEvents"])
+    bfs.enable_tracing()  # must not clear recorded intervals
+    n2 = len(json.loads(bfs.export_trace())["traceEvents"])
+    assert n1 == n2 > 0

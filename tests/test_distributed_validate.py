@@ -1,0 +1,113 @@
+"""Distributed validator tests: agrees with the sequential rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError, ValidationError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph.generators import ring_edges
+from repro.graph500.distributed_validate import DistributedValidator
+from repro.graph500.reference import reference_bfs, reference_depths
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+
+
+def make_case(scale=9, seed=3):
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    parent = reference_bfs(graph, root)
+    return edges, graph, root, parent
+
+
+def test_accepts_reference_result_with_exact_depths():
+    edges, graph, root, parent = make_case()
+    validator = DistributedValidator(edges, 4, config=CFG, nodes_per_super_node=2)
+    result = validator.validate(root, parent)
+    assert np.array_equal(result.depth, reference_depths(graph, root))
+    assert result.sim_seconds > 0
+    assert result.supersteps >= 1
+
+
+def test_accepts_distributed_bfs_output():
+    edges, graph, root, _ = make_case(seed=5)
+    bfs = DistributedBFS(edges, 8, config=CFG, nodes_per_super_node=4)
+    run = bfs.run(root)
+    validator = DistributedValidator(edges, 8, config=CFG, nodes_per_super_node=4)
+    result = validator.validate(root, run.parent)
+    assert np.array_equal(result.depth, run.depths())
+
+
+def test_rejects_cycle():
+    edges, graph, root, parent = make_case(seed=7)
+    bad = parent.copy()
+    # A genuine 2-cycle over a real edge (so rule 5 passes): a <-> b.
+    reached = np.flatnonzero((bad >= 0) & (np.arange(len(bad)) != root))
+    for a in reached:
+        for b in graph.neighbors(int(a)):
+            if b != root and bad[b] >= 0 and b != a:
+                bad[a], bad[b] = b, a
+                break
+        else:
+            continue
+        break
+    validator = DistributedValidator(edges, 4, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ValidationError, match="rule 1"):
+        validator.validate(root, bad)
+
+
+def test_rejects_non_edge_parent():
+    edges = ring_edges(16)
+    parent = reference_bfs(CSRGraph.from_edges(edges), 0)
+    bad = parent.copy()
+    bad[5] = 1  # 1 is not adjacent to 5 on a ring
+    validator = DistributedValidator(edges, 4, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ValidationError, match="rule 5"):
+        validator.validate(0, bad)
+
+
+def test_rejects_unreached_component_vertex():
+    edges, _, root, parent = make_case(seed=9)
+    bad = parent.copy()
+    reached = np.flatnonzero((bad >= 0) & (np.arange(len(bad)) != root))
+    leaves = np.setdiff1d(reached, bad)
+    bad[leaves[0]] = -1
+    validator = DistributedValidator(edges, 4, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ValidationError, match="rule 4|rule 1"):
+        validator.validate(root, bad)
+
+
+def test_rejects_non_bfs_depths():
+    """A valid tree that is not breadth-first trips the level-span rule."""
+    edges = ring_edges(8)
+    parent = np.array([0, 0, 1, 2, 3, 4, 5, 6])  # the long way round
+    validator = DistributedValidator(edges, 2, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ValidationError, match="rule 3"):
+        validator.validate(0, parent)
+
+
+def test_rejects_bad_root_and_shapes():
+    edges = ring_edges(8)
+    parent = reference_bfs(CSRGraph.from_edges(edges), 0)
+    validator = DistributedValidator(edges, 2, config=CFG, nodes_per_super_node=2)
+    with pytest.raises(ConfigError):
+        validator.validate(99, parent)
+    with pytest.raises(ConfigError):
+        validator.validate(0, parent[:-1])
+    shifted = parent.copy()
+    shifted[0] = 1
+    with pytest.raises(ValidationError, match="rule 1"):
+        validator.validate(0, shifted)
+    oob = parent.copy()
+    oob[3] = 99
+    with pytest.raises(ValidationError, match="rule 1"):
+        validator.validate(0, oob)
+
+
+def test_depth_resolution_rounds_scale_with_tree_height():
+    edges = ring_edges(32)  # height ~16 tree from any root
+    parent = reference_bfs(CSRGraph.from_edges(edges), 0)
+    validator = DistributedValidator(edges, 4, config=CFG, nodes_per_super_node=2)
+    result = validator.validate(0, parent)
+    assert result.supersteps >= 16

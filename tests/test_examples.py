@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example runs to completion in-process."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):  # -> captured stdout via capsys at caller
+    path = EXAMPLES / name
+    assert path.exists(), path
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", argv=["9", "4"])
+    out = capsys.readouterr().out
+    assert "all validated" in out
+    assert "GTEPS" in out
+
+
+def test_machine_tour(capsys):
+    run_example("machine_tour.py")
+    out = capsys.readouterr().out
+    assert "10,649,600 cores" in out
+    assert "deadlock-free = True" in out
+    assert "trunk" in out
+
+
+def test_full_machine_projection(capsys):
+    run_example("full_machine_projection.py")
+    out = capsys.readouterr().out
+    assert "23,755.7" in out
+    assert "K Computer" in out
+    assert "Figure 12" in out
+
+
+def test_traversal_anatomy(capsys):
+    run_example("traversal_anatomy.py")
+    out = capsys.readouterr().out
+    assert "bottomup" in out
+    assert "avoided" in out
+
+
+@pytest.mark.slow
+def test_technique_comparison(capsys):
+    run_example("technique_comparison.py")
+    out = capsys.readouterr().out
+    assert "CRASH:spm-overflow" in out
+    assert "relay-cpe" in out
+
+
+@pytest.mark.slow
+def test_social_network_analysis(capsys):
+    run_example("social_network_analysis.py")
+    out = capsys.readouterr().out
+    for tag in ("[WCC]", "[PageRank]", "[k-core]", "[BFS]", "[SSSP]"):
+        assert tag in out
+
+
+@pytest.mark.slow
+def test_scaling_study(capsys):
+    run_example("scaling_study.py")
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+    assert "Strong scaling" in out.lower() or "strong scaling" in out

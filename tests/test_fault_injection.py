@@ -1,0 +1,93 @@
+"""Fault-injection tests: duplicate tolerance, loss detection, delays."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError, ValidationError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.reference import reference_depths
+from repro.graph500.validate import validate_bfs_result
+from repro.sim.faults import FaultInjector, FaultPlan
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+
+
+def make_bfs(seed=41):
+    edges = KroneckerGenerator(scale=10, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(edges, 8, config=CFG, nodes_per_super_node=4)
+    return edges, graph, root, bfs
+
+
+def test_duplicated_messages_are_harmless():
+    """Handler idempotence: duplicating every 3rd data message changes
+    nothing about the result (only the simulated cost)."""
+    edges, graph, root, clean_bfs = make_bfs()
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs()
+    plan = FaultPlan(duplicate=set(range(0, 10_000, 3)), tag_prefix="fwd")
+    injector = FaultInjector(bfs.cluster, plan)
+    result = bfs.run(root)
+    assert injector.duplicated > 0
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), clean.depths())
+    assert result.stats["messages"] > clean.stats["messages"]
+
+
+def test_dropped_record_message_fails_validation():
+    """Losing a data message silently corrupts the tree — and the
+    Graph500 rules catch it."""
+    edges, graph, root, bfs = make_bfs(seed=43)
+    # Drop one mid-traversal forward message (ordinal found empirically to
+    # carry records that matter; sweep a few in case one was redundant).
+    for ordinal in (5, 9, 13, 17):
+        _, _, _, bfs = make_bfs(seed=43)
+        plan = FaultPlan(drop={ordinal}, tag_prefix="fwd")
+        injector = FaultInjector(bfs.cluster, plan)
+        result = bfs.run(root)
+        if injector.dropped == 0:
+            continue
+        try:
+            validate_bfs_result(graph, edges, root, result.parent)
+        except ValidationError:
+            return  # caught, as required
+    pytest.fail("no dropped message produced a detectable corruption")
+
+
+def test_delayed_messages_only_cost_time():
+    edges, graph, root, clean_bfs = make_bfs(seed=47)
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs(seed=47)
+    plan = FaultPlan(delay={i: 5e-5 for i in range(0, 200, 7)}, tag_prefix="fwd")
+    injector = FaultInjector(bfs.cluster, plan)
+    result = bfs.run(root)
+    assert injector.delayed > 0
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), reference_depths(graph, root))
+    assert result.sim_seconds > clean.sim_seconds
+
+
+def test_tag_prefix_filters():
+    _, _, root, bfs = make_bfs(seed=49)
+    plan = FaultPlan(drop={0, 1, 2}, tag_prefix="eol")  # only markers
+    injector = FaultInjector(bfs.cluster, plan)
+    result = bfs.run(root)
+    assert injector.dropped == 3
+    # Dropping termination markers never hurts correctness (they carry no
+    # data; quiescence detection is the driver's).
+    assert result.levels >= 1
+
+
+def test_uninstall_restores_clean_path():
+    _, _, root, bfs = make_bfs(seed=51)
+    injector = FaultInjector(bfs.cluster, FaultPlan(drop={0}, tag_prefix="fwd"))
+    injector.uninstall()
+    bfs.run(root)
+    assert injector.dropped == 0
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigError):
+        FaultPlan(delay={0: -1.0})

@@ -1,0 +1,52 @@
+"""Golden regression pins: exact outputs for fixed seeds.
+
+These values pin the *time model* and the deterministic algorithm. They
+will change whenever a cost constant or scheduling rule changes — that is
+the point: such a change must be deliberate, and updating these numbers is
+the act of acknowledging it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import KroneckerGenerator
+from repro.perf import ScalingModel
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+
+
+def test_golden_functional_run():
+    edges = KroneckerGenerator(scale=10, seed=1).generate()
+    bfs = DistributedBFS(edges, 8, config=CFG, nodes_per_super_node=4)
+    # Root chosen deterministically: first vertex with edges.
+    from repro.graph import CSRGraph
+
+    root = int(np.flatnonzero(CSRGraph.from_edges(edges).degrees() > 0)[0])
+    result = bfs.run(root)
+    # Structural pins (stable under pure cost-constant changes):
+    assert result.levels == 5
+    assert (result.parent >= 0).sum() == 886
+    assert result.directions() == [
+        "topdown", "topdown", "bottomup", "bottomup", "topdown",
+    ]
+    # Workload pins:
+    assert result.stats["records_sent"] == 826
+    assert result.stats["messages"] == 347
+    # Time-model pin (loose relative tolerance so float noise can't trip it,
+    # tight enough that any real model change does):
+    assert result.sim_seconds == pytest.approx(3.5260e-4, rel=1e-3)
+
+
+def test_golden_model_points():
+    model = ScalingModel()
+    assert model.headline().gteps == pytest.approx(22848, rel=1e-3)
+    p = model.fig11_point("relay-cpe", 4096)
+    assert p.gteps == pytest.approx(2492, rel=1e-3)
+    m = model.fig11_point("relay-mpe", 4096)
+    assert m.gteps == pytest.approx(267, rel=2e-2)
+
+
+def test_golden_kronecker_checksum():
+    edges = KroneckerGenerator(scale=10, seed=1).generate()
+    assert int(edges.src.sum() + edges.dst.sum()) == 17517615

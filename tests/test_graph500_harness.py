@@ -1,0 +1,96 @@
+"""Spec, roots, and TEPS statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import EdgeList, KroneckerGenerator
+from repro.graph500 import Graph500Spec, TepsStatistics, sample_roots
+from repro.graph500.roots import nontrivial_vertices
+from repro.graph500.timing import traversed_edges
+
+
+def test_spec_sizes():
+    spec = Graph500Spec(scale=20)
+    assert spec.num_vertices == 1 << 20
+    assert spec.num_edges == 16 << 20
+    assert spec.num_roots == 64
+
+
+def test_spec_problem_classes():
+    assert Graph500Spec(scale=26).problem_class() == "toy"
+    assert Graph500Spec(scale=36).problem_class() == "medium"
+    assert Graph500Spec(scale=39).problem_class() == "large"
+    assert Graph500Spec(scale=40).problem_class() == "huge"
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        Graph500Spec(scale=0)
+    with pytest.raises(ConfigError):
+        Graph500Spec(scale=10, num_roots=0)
+
+
+def test_nontrivial_vertices_excludes_loop_only():
+    e = EdgeList(np.array([0, 1, 3]), np.array([1, 0, 3]), 5)
+    nt = nontrivial_vertices(e)
+    assert nt.tolist() == [0, 1]  # 3 only has a self loop, 2 and 4 isolated
+
+
+def test_sample_roots_distinct_and_deterministic():
+    edges = KroneckerGenerator(scale=10, seed=5).generate()
+    r1 = sample_roots(edges, 16, seed=9)
+    r2 = sample_roots(edges, 16, seed=9)
+    assert np.array_equal(r1, r2)
+    assert len(np.unique(r1)) == 16
+    deg = edges.undirected_degrees()
+    loopless = edges.without_self_loops()
+    deg_nl = np.bincount(loopless.src, minlength=edges.num_vertices) + np.bincount(
+        loopless.dst, minlength=edges.num_vertices
+    )
+    assert np.all(deg_nl[r1] > 0)
+
+
+def test_sample_roots_caps_at_candidates():
+    e = EdgeList(np.array([0]), np.array([1]), 10)
+    roots = sample_roots(e, 64)
+    assert sorted(roots.tolist()) == [0, 1]
+
+
+def test_sample_roots_rejects_empty_graph():
+    e = EdgeList(np.array([2]), np.array([2]), 4)  # only a self loop
+    with pytest.raises(ConfigError):
+        sample_roots(e, 4)
+
+
+def test_traversed_edges_counts_multiplicity_and_loops():
+    # Component {0, 1}: edges (0,1) twice and loop (0,0) -> 3 tuples.
+    e = EdgeList(np.array([0, 0, 0, 2]), np.array([1, 1, 0, 3]), 4)
+    depth = np.array([0, 1, -1, -1])
+    assert traversed_edges(e, depth) == 3
+
+
+def test_teps_statistics():
+    stats = TepsStatistics.from_runs([100, 100], [1.0, 2.0])  # 100 and 50 TEPS
+    assert stats.harmonic_mean() == pytest.approx(2 / (1 / 100 + 1 / 50))
+    assert stats.min() == 50
+    assert stats.max() == 100
+    assert stats.median() == 75
+    assert stats.gteps() == pytest.approx(stats.harmonic_mean() / 1e9)
+    assert stats.harmonic_stddev() > 0
+
+
+def test_teps_single_run_has_zero_stddev():
+    stats = TepsStatistics.from_runs([10], [1.0])
+    assert stats.harmonic_stddev() == 0.0
+
+
+def test_teps_validation():
+    with pytest.raises(ConfigError):
+        TepsStatistics.from_runs([], [])
+    with pytest.raises(ConfigError):
+        TepsStatistics.from_runs([1, 2], [1])
+    with pytest.raises(ConfigError):
+        TepsStatistics.from_runs([1], [0.0])
+    with pytest.raises(ConfigError):
+        TepsStatistics.from_runs([-1], [1.0])

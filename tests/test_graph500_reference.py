@@ -1,0 +1,82 @@
+"""Reference BFS + depths-from-parents tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, EdgeList
+from repro.graph.generators import grid_edges, ring_edges, star_edges
+from repro.graph import KroneckerGenerator
+from repro.graph500.reference import (
+    depths_from_parents,
+    reference_bfs,
+    reference_depths,
+)
+
+
+def test_bfs_on_ring():
+    g = CSRGraph.from_edges(ring_edges(6))
+    parent = reference_bfs(g, 0)
+    depth = reference_depths(g, 0)
+    assert parent[0] == 0
+    assert depth.tolist() == [0, 1, 2, 3, 2, 1]
+    assert np.array_equal(depths_from_parents(parent, 0), depth)
+
+
+def test_bfs_on_disconnected_graph():
+    e = EdgeList(np.array([0, 2]), np.array([1, 3]), 5)
+    g = CSRGraph.from_edges(e)
+    parent = reference_bfs(g, 0)
+    assert parent[0] == 0 and parent[1] == 0
+    assert parent[2] == parent[3] == parent[4] == -1
+    depth = reference_depths(g, 0)
+    assert depth.tolist() == [0, 1, -1, -1, -1]
+
+
+def test_bfs_on_star_from_leaf():
+    g = CSRGraph.from_edges(star_edges(8))
+    depth = reference_depths(g, 5)
+    assert depth[5] == 0 and depth[0] == 1
+    others = [depth[v] for v in range(1, 8) if v != 5]
+    assert others == [2] * 6
+
+
+def test_parent_edges_exist_and_depths_consistent():
+    g = CSRGraph.from_edges(KroneckerGenerator(scale=9, seed=2).generate())
+    root = int(np.flatnonzero(g.degrees() > 0)[0])
+    parent = reference_bfs(g, root)
+    depth = reference_depths(g, root)
+    reached = np.flatnonzero(parent >= 0)
+    for v in reached[:200]:
+        if v != root:
+            assert g.has_edge(int(parent[v]), int(v))
+            assert depth[v] == depth[parent[v]] + 1
+    assert np.array_equal(depths_from_parents(parent, root), depth)
+
+
+def test_depths_from_parents_rejects_cycles():
+    # 1 and 2 point at each other — a cycle detached from the root.
+    parent = np.array([0, 2, 1])
+    with pytest.raises(ConfigError):
+        depths_from_parents(parent, 0)
+
+
+def test_depths_from_parents_rejects_wrong_root():
+    with pytest.raises(ConfigError):
+        depths_from_parents(np.array([1, 1]), 0)
+
+
+def test_root_out_of_range():
+    g = CSRGraph.from_edges(ring_edges(4))
+    with pytest.raises(ConfigError):
+        reference_bfs(g, 9)
+    with pytest.raises(ConfigError):
+        reference_depths(g, -1)
+
+
+def test_bfs_on_grid_matches_manhattan():
+    g = CSRGraph.from_edges(grid_edges(5, 5))
+    depth = reference_depths(g, 0)
+    for r in range(5):
+        for c in range(5):
+            assert depth[r * 5 + c] == r + c

@@ -1,0 +1,105 @@
+"""Graph500 SSSP extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DistributedSSSP
+from repro.core import BFSConfig
+from repro.errors import ConfigError, ValidationError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph.generators import ring_edges
+from repro.graph500.sssp import SSSPRunner, validate_sssp_result
+
+CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+
+
+def solved_case(scale=9, seed=3, nodes=4):
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    dist = DistributedSSSP(edges, nodes, config=CFG, nodes_per_super_node=2).run(root).dist
+    return graph, edges, root, dist
+
+
+def test_correct_distances_validate():
+    graph, edges, root, dist = solved_case()
+    validate_sssp_result(graph, edges, root, dist)
+
+
+def test_detects_nonzero_root():
+    graph, edges, root, dist = solved_case()
+    bad = dist.copy()
+    bad[root] = 1.0
+    with pytest.raises(ValidationError, match="rule 1"):
+        validate_sssp_result(graph, edges, root, bad)
+
+
+def test_detects_over_tight_edge():
+    graph, edges, root, dist = solved_case()
+    bad = dist.copy()
+    # Inflate one reached non-root vertex: its incoming edges go over-tight
+    # or it loses its witness.
+    v = int(np.flatnonzero(np.isfinite(bad) & (np.arange(len(bad)) != root))[0])
+    bad[v] += 100.0
+    with pytest.raises(ValidationError, match="rule 2|rule 3"):
+        validate_sssp_result(graph, edges, root, bad)
+
+
+def test_detects_shrunk_distance():
+    """A fractionally-too-small distance is either infeasible against an
+    incident edge (rule 2) or witness-less (rule 3) — caught either way."""
+    graph, edges, root, dist = solved_case()
+    bad = dist.copy()
+    v = int(np.flatnonzero(np.isfinite(bad) & (np.arange(len(bad)) != root))[-1])
+    bad[v] -= 0.25
+    with pytest.raises(ValidationError, match="rule 2|rule 3"):
+        validate_sssp_result(graph, edges, root, bad)
+
+
+def test_detects_pure_witness_gap_on_ring():
+    """On a ring, shrinking a vertex within the feasibility slack leaves
+    every edge feasible but removes its witness — rule 3's own case."""
+    edges = ring_edges(6)
+    graph = CSRGraph.from_edges(edges)
+    dist = DistributedSSSP(edges, 2, config=CFG, nodes_per_super_node=2).run(0).dist
+    w_left = float(np.min(np.abs(np.diff(dist[np.isfinite(dist)]))) or 1.0)
+    bad = dist.copy()
+    v = int(np.argmax(np.where(np.isfinite(bad), bad, -1)))  # the far vertex
+    slack = 0.25 * min(1.0, w_left if w_left > 0 else 1.0)
+    bad[v] -= slack
+    with pytest.raises(ValidationError, match="rule 2|rule 3"):
+        validate_sssp_result(graph, edges, 0, bad)
+
+
+def test_detects_boundary_straddle():
+    edges = ring_edges(8)
+    graph = CSRGraph.from_edges(edges)
+    dist = DistributedSSSP(edges, 2, config=CFG, nodes_per_super_node=2).run(0).dist
+    bad = dist.copy()
+    bad[4] = np.inf  # pretend a component member was never reached
+    with pytest.raises(ValidationError, match="rule 3|rule 4"):
+        validate_sssp_result(graph, edges, 0, bad)
+
+
+def test_validation_input_checks():
+    graph, edges, root, dist = solved_case()
+    with pytest.raises(ConfigError):
+        validate_sssp_result(graph, edges, root, dist[:-1])
+    with pytest.raises(ConfigError):
+        validate_sssp_result(graph, edges, 10**9, dist)
+
+
+@pytest.mark.parametrize("algorithm", ["delta-stepping", "bellman-ford"])
+def test_runner_end_to_end(algorithm):
+    report = SSSPRunner(
+        scale=8, nodes=4, algorithm=algorithm, config=CFG,
+        nodes_per_super_node=2,
+    ).run(num_roots=3)
+    assert len(report.runs) == 3
+    assert report.stats.gteps() > 0
+    assert "SSSP" in report.summary()
+
+
+def test_runner_rejects_unknown_algorithm():
+    with pytest.raises(ConfigError):
+        SSSPRunner(scale=8, nodes=2, algorithm="dijkstra")

@@ -1,0 +1,69 @@
+"""Benchmark suite + full-benchmark-time model tests."""
+
+import pytest
+
+from repro.core import BFSConfig
+from repro.errors import ConfigError
+from repro.graph500.suite import BenchmarkSuite, SuiteCase
+from repro.perf import ScalingModel
+
+CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+
+
+def test_suite_runs_matrix_and_renders():
+    suite = BenchmarkSuite(
+        cases=[
+            SuiteCase(scale=8, nodes=2),
+            SuiteCase(scale=8, nodes=4, variant="direct-mpe"),
+            SuiteCase(scale=9, nodes=4),
+        ],
+        num_roots=2,
+        config=CFG,
+        nodes_per_super_node=2,
+    )
+    results = suite.run()
+    assert len(results) == 3
+    assert all(r.ok for r in results)
+    out = suite.table()
+    assert "direct-mpe" in out
+    assert "ok" in out
+
+
+def test_suite_captures_crashes_as_rows():
+    # direct-cpe at 1,024 nodes dies of SPM overflow at construction.
+    suite = BenchmarkSuite(
+        cases=[SuiteCase(scale=11, nodes=1024, variant="direct-cpe")],
+        num_roots=1,
+        config=CFG,
+        nodes_per_super_node=256,
+    )
+    results = suite.run()
+    assert not results[0].ok
+    assert "SPM" in results[0].crashed
+    assert "CRASH" in suite.table()
+
+
+def test_empty_suite_rejected():
+    with pytest.raises(ConfigError):
+        BenchmarkSuite(cases=[]).run()
+
+
+def test_full_benchmark_time_breakdown():
+    model = ScalingModel()
+    t = model.full_benchmark_time()
+    assert set(t) == {"generate", "construct", "kernel", "validate", "total"}
+    assert t["total"] == pytest.approx(
+        t["generate"] + t["construct"] + t["kernel"] + t["validate"]
+    )
+    # 64 kernel runs dominate generation at headline scale, and the whole
+    # benchmark completes in simulated minutes, not hours.
+    assert t["kernel"] > t["generate"]
+    assert 30 < t["total"] < 600
+
+
+def test_full_benchmark_scales_with_roots():
+    model = ScalingModel()
+    few = model.full_benchmark_time(num_roots=4)
+    many = model.full_benchmark_time(num_roots=64)
+    assert many["kernel"] == pytest.approx(16 * few["kernel"])
+    assert many["generate"] == few["generate"]

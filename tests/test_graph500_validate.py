@@ -1,0 +1,103 @@
+"""Validation-rule tests: correct results pass, corrupted ones name the rule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import CSRGraph, EdgeList, KroneckerGenerator
+from repro.graph.generators import ring_edges
+from repro.graph500.reference import reference_bfs
+from repro.graph500.validate import validate_bfs_result
+
+
+def make_case(scale=9, seed=4):
+    edges = KroneckerGenerator(scale=scale, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    parent = reference_bfs(graph, root)
+    return graph, edges, root, parent
+
+
+def test_reference_result_validates():
+    graph, edges, root, parent = make_case()
+    depth = validate_bfs_result(graph, edges, root, parent)
+    assert depth[root] == 0
+
+
+def test_ring_result_validates():
+    edges = ring_edges(12)
+    graph = CSRGraph.from_edges(edges)
+    parent = reference_bfs(graph, 3)
+    validate_bfs_result(graph, edges, 3, parent)
+
+
+def test_detects_missing_root_self_parent():
+    graph, edges, root, parent = make_case()
+    parent = parent.copy()
+    parent[root] = -1
+    with pytest.raises(ValidationError, match="rule 1"):
+        validate_bfs_result(graph, edges, root, parent)
+
+
+def test_detects_cycle():
+    graph, edges, root, parent = make_case()
+    parent = parent.copy()
+    reached = np.flatnonzero((parent >= 0) & (np.arange(len(parent)) != root))
+    a, b = reached[0], reached[1]
+    parent[a], parent[b] = b, a
+    with pytest.raises(ValidationError, match="rule 1"):
+        validate_bfs_result(graph, edges, root, parent)
+
+
+def test_detects_non_edge_parent():
+    graph, edges, root, parent = make_case()
+    parent = parent.copy()
+    # Find a reached vertex and assign it a non-neighbour parent at the
+    # right depth — must trip rule 5 (or rule 2/4 if depths break first).
+    depth = validate_bfs_result(graph, edges, root, parent)
+    for v in np.flatnonzero(parent >= 0):
+        if v == root:
+            continue
+        same_depth_parents = np.flatnonzero(depth == depth[v] - 1)
+        non_neighbors = [
+            int(u) for u in same_depth_parents if not graph.has_edge(int(u), int(v))
+        ]
+        if non_neighbors:
+            parent[v] = non_neighbors[0]
+            break
+    else:
+        pytest.skip("graph too dense to find a non-neighbour at the right depth")
+    with pytest.raises(ValidationError, match="rule 5"):
+        validate_bfs_result(graph, edges, root, parent)
+
+
+def test_detects_unreached_component_vertex():
+    graph, edges, root, parent = make_case()
+    parent = parent.copy()
+    reached = np.flatnonzero((parent >= 0) & (np.arange(len(parent)) != root))
+    # Erase a leaf of the tree (a vertex nobody else claims as parent).
+    leaves = np.setdiff1d(reached, parent)
+    parent[leaves[0]] = -1
+    with pytest.raises(ValidationError, match="rule 4"):
+        validate_bfs_result(graph, edges, root, parent)
+
+
+def test_detects_wrong_depth():
+    """A parent map whose tree is valid but not breadth-first fails rule 4."""
+    edges = ring_edges(8)
+    graph = CSRGraph.from_edges(edges)
+    # Chain parents the long way around: 0 <- 1 <- 2 <- ... <- 7, making
+    # vertex 7 depth 7 even though edge (7, 0) gives distance 1.
+    parent = np.array([0, 0, 1, 2, 3, 4, 5, 6])
+    with pytest.raises(ValidationError, match="rule 3|rule 4"):
+        validate_bfs_result(graph, edges, 0, parent)
+
+
+def test_detects_vertex_outside_component_claimed():
+    e = EdgeList(np.array([0, 2]), np.array([1, 3]), 4)
+    graph = CSRGraph.from_edges(e)
+    parent = np.array([0, 0, -1, -1])
+    validate_bfs_result(graph, e, 0, parent)  # correct result passes
+    bad = np.array([0, 0, 0, -1])  # vertex 2 claims parent 0: not an edge
+    with pytest.raises(ValidationError):
+        validate_bfs_result(graph, e, 0, bad)

@@ -1,0 +1,99 @@
+"""Bitmap tests (vectorised set/test, popcount, wire size)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import Bitmap
+
+
+def test_set_get_count():
+    bm = Bitmap(100)
+    assert not bm.any()
+    bm.set(0)
+    bm.set(63)
+    bm.set(64)
+    bm.set(99)
+    assert bm.count() == 4
+    assert bm.get(63) and bm.get(64)
+    assert not bm.get(1)
+
+
+def test_set_many_and_indices_roundtrip():
+    idx = np.array([3, 17, 64, 65, 130], dtype=np.int64)
+    bm = Bitmap.from_indices(200, idx)
+    assert bm.indices().tolist() == idx.tolist()
+
+
+def test_duplicate_sets_are_idempotent():
+    bm = Bitmap(64)
+    bm.set_many(np.array([5, 5, 5]))
+    assert bm.count() == 1
+
+
+def test_test_many():
+    bm = Bitmap.from_indices(128, np.array([0, 70]))
+    out = bm.test_many(np.array([0, 1, 70, 127]))
+    assert out.tolist() == [True, False, True, False]
+    assert bm.test_many(np.array([], dtype=np.int64)).tolist() == []
+
+
+def test_or_and_ior():
+    a = Bitmap.from_indices(64, np.array([1, 2]))
+    b = Bitmap.from_indices(64, np.array([2, 3]))
+    c = a | b
+    assert c.indices().tolist() == [1, 2, 3]
+    a.ior(b)
+    assert a == c
+
+
+def test_from_bool():
+    mask = np.zeros(70, dtype=bool)
+    mask[[0, 69]] = True
+    bm = Bitmap.from_bool(mask)
+    assert bm.indices().tolist() == [0, 69]
+
+
+def test_wire_size_is_ceil_bits_over_8():
+    assert Bitmap(1).nbytes_wire() == 1
+    assert Bitmap(8).nbytes_wire() == 1
+    assert Bitmap(9).nbytes_wire() == 2
+    assert Bitmap(4096).nbytes_wire() == 512
+
+
+def test_clear_and_copy():
+    bm = Bitmap.from_indices(64, np.array([1]))
+    cp = bm.copy()
+    bm.clear()
+    assert bm.count() == 0
+    assert cp.count() == 1
+
+
+def test_size_mismatch_and_range_checks():
+    with pytest.raises(ConfigError):
+        Bitmap(10) | Bitmap(11)
+    with pytest.raises(ConfigError):
+        Bitmap(10).set(10)
+    with pytest.raises(ConfigError):
+        Bitmap(10).get(-1)
+    with pytest.raises(ConfigError):
+        Bitmap(-1)
+
+
+def test_zero_size_bitmap():
+    bm = Bitmap(0)
+    assert bm.count() == 0
+    assert bm.indices().tolist() == []
+    assert not bm.any()
+
+
+@given(st.lists(st.integers(0, 499), max_size=100))
+def test_bitmap_equals_set_semantics(indices):
+    bm = Bitmap(500)
+    bm.set_many(np.array(indices, dtype=np.int64))
+    expected = sorted(set(indices))
+    assert bm.indices().tolist() == expected
+    assert bm.count() == len(expected)
+    probe = np.arange(500, dtype=np.int64)
+    assert np.array_equal(bm.test_many(probe), np.isin(probe, list(set(indices))))

@@ -1,0 +1,115 @@
+"""CSR graph construction and query tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, EdgeList
+from repro.graph.generators import ring_edges, star_edges
+
+
+def test_from_edges_symmetrize_dedup():
+    e = EdgeList(np.array([0, 0, 1]), np.array([1, 1, 2]), 3)
+    g = CSRGraph.from_edges(e)
+    assert g.num_vertices == 3
+    assert g.neighbors(0).tolist() == [1]
+    assert g.neighbors(1).tolist() == [0, 2]
+    assert g.neighbors(2).tolist() == [1]
+    assert g.num_edges == 4  # two undirected edges stored twice
+
+
+def test_self_loops_dropped_by_default():
+    e = EdgeList(np.array([0, 1]), np.array([0, 1]), 2)
+    g = CSRGraph.from_edges(e)
+    assert g.num_edges == 0
+
+
+def test_directed_construction():
+    e = EdgeList(np.array([0]), np.array([1]), 2)
+    g = CSRGraph.from_edges(e, symmetrize=False)
+    assert g.neighbors(0).tolist() == [1]
+    assert g.neighbors(1).tolist() == []
+
+
+def test_rows_are_sorted():
+    e = EdgeList(np.array([0, 0, 0]), np.array([3, 1, 2]), 4)
+    g = CSRGraph.from_edges(e, symmetrize=False)
+    assert g.neighbors(0).tolist() == [1, 2, 3]
+
+
+def test_has_edge():
+    g = CSRGraph.from_edges(ring_edges(5))
+    assert g.has_edge(0, 1)
+    assert g.has_edge(0, 4)
+    assert not g.has_edge(0, 2)
+
+
+def test_expand_matches_neighbors():
+    g = CSRGraph.from_edges(star_edges(6))
+    sources, targets = g.expand(np.array([0]))
+    assert sources.tolist() == [0] * 5
+    assert sorted(targets.tolist()) == [1, 2, 3, 4, 5]
+
+
+def test_expand_multiple_and_empty():
+    g = CSRGraph.from_edges(ring_edges(6))
+    sources, targets = g.expand(np.array([0, 3]))
+    assert sources.tolist() == [0, 0, 3, 3]
+    assert sorted(targets.tolist()) == [1, 2, 4, 5]
+    s, t = g.expand(np.array([], dtype=np.int64))
+    assert len(s) == len(t) == 0
+
+
+def test_expand_with_isolated_vertex():
+    e = EdgeList(np.array([0]), np.array([1]), 3)
+    g = CSRGraph.from_edges(e)
+    s, t = g.expand(np.array([2, 0]))
+    assert s.tolist() == [0] and t.tolist() == [1]
+
+
+def test_row_slice():
+    g = CSRGraph.from_edges(ring_edges(6))
+    local = g.row_slice(2, 4)
+    assert local.num_vertices == 2
+    assert local.neighbors(0).tolist() == [1, 3]  # global vertex 2
+    assert local.neighbors(1).tolist() == [2, 4]  # global vertex 3
+    with pytest.raises(ConfigError):
+        g.row_slice(4, 2)
+
+
+def test_degrees():
+    g = CSRGraph.from_edges(star_edges(5))
+    assert g.degrees().tolist() == [4, 1, 1, 1, 1]
+
+
+def test_invalid_csr_rejected():
+    with pytest.raises(ConfigError):
+        CSRGraph(np.array([1, 2]), np.array([0, 1]))  # row_ptr[0] != 0
+    with pytest.raises(ConfigError):
+        CSRGraph(np.array([0, 2]), np.array([0]))  # end mismatch
+    with pytest.raises(ConfigError):
+        CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31)), min_size=1, max_size=120
+    )
+)
+def test_expand_agrees_with_per_vertex_neighbors(pairs):
+    n = 32
+    e = EdgeList(
+        np.array([p[0] for p in pairs], dtype=np.int64),
+        np.array([p[1] for p in pairs], dtype=np.int64),
+        n,
+    )
+    g = CSRGraph.from_edges(e)
+    frontier = np.unique(np.array([p[0] for p in pairs], dtype=np.int64))
+    sources, targets = g.expand(frontier)
+    expected = []
+    for v in frontier:
+        for w in g.neighbors(int(v)):
+            expected.append((int(v), int(w)))
+    assert sorted(zip(sources.tolist(), targets.tolist())) == sorted(expected)

@@ -1,0 +1,95 @@
+"""EdgeList transform and query tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import EdgeList
+
+
+def el(src, dst, n):
+    return EdgeList(np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), n)
+
+
+def test_basic_construction():
+    e = el([0, 1], [1, 2], 3)
+    assert e.num_edges == 2
+    assert e.num_vertices == 3
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        el([0], [5], 3)  # endpoint out of range
+    with pytest.raises(ConfigError):
+        el([-1], [0], 3)
+    with pytest.raises(ConfigError):
+        EdgeList(np.zeros(2), np.zeros(3), 5)  # length mismatch
+    with pytest.raises(ConfigError):
+        el([], [], 0)  # zero vertices
+
+
+def test_symmetrized_doubles_edges():
+    e = el([0, 1], [1, 2], 3).symmetrized()
+    assert e.num_edges == 4
+    pairs = set(zip(e.src.tolist(), e.dst.tolist()))
+    assert (1, 0) in pairs and (2, 1) in pairs
+
+
+def test_without_self_loops():
+    e = el([0, 1, 2], [0, 2, 2], 3).without_self_loops()
+    assert e.num_edges == 1
+    assert (e.src[0], e.dst[0]) == (1, 2)
+
+
+def test_deduplicated_keeps_one_copy():
+    e = el([0, 0, 0, 1], [1, 1, 2, 0], 3).deduplicated()
+    pairs = sorted(zip(e.src.tolist(), e.dst.tolist()))
+    assert pairs == [(0, 1), (0, 2), (1, 0)]
+
+
+def test_permuted_relabels():
+    e = el([0, 1], [1, 2], 3).permuted(np.array([2, 0, 1]))
+    pairs = set(zip(e.src.tolist(), e.dst.tolist()))
+    assert pairs == {(2, 0), (0, 1)}
+    with pytest.raises(ConfigError):
+        el([0], [1], 3).permuted(np.array([0, 0, 1]))
+
+
+def test_degrees():
+    e = el([0, 0, 1], [1, 2, 2], 3)
+    assert e.degrees().tolist() == [2, 1, 0]
+    # undirected: vertex 2 touched twice, self-loops counted once
+    loops = el([0, 1], [0, 2], 3)
+    assert loops.undirected_degrees().tolist() == [1, 1, 1]
+
+
+def test_edges_within_mask():
+    e = el([0, 1, 2], [1, 2, 0], 4)
+    mask = np.array([True, True, False, False])
+    assert e.edges_within(mask) == 1  # only (0, 1)
+    with pytest.raises(ConfigError):
+        e.edges_within(np.array([True]))
+
+
+def test_shuffled_preserves_multiset():
+    rng = np.random.default_rng(0)
+    e = el([0, 1, 2, 3], [1, 2, 3, 0], 4)
+    s = e.shuffled(rng)
+    assert sorted(zip(s.src.tolist(), s.dst.tolist())) == sorted(
+        zip(e.src.tolist(), e.dst.tolist())
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=60
+    )
+)
+def test_dedup_then_symmetrize_is_symmetric(pairs):
+    n = 16
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    e = EdgeList(src, dst, n).symmetrized().deduplicated()
+    have = set(zip(e.src.tolist(), e.dst.tolist()))
+    assert all((b, a) in have for a, b in have)

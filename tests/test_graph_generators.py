@@ -1,0 +1,74 @@
+"""Synthetic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    CSRGraph,
+    complete_edges,
+    erdos_renyi_edges,
+    grid_edges,
+    ring_edges,
+    star_edges,
+)
+from repro.graph500.reference import reference_depths
+
+
+def test_ring():
+    g = CSRGraph.from_edges(ring_edges(8))
+    assert np.all(g.degrees() == 2)
+    depth = reference_depths(g, 0)
+    assert depth.max() == 4  # diameter/2 of an 8-ring
+
+
+def test_star():
+    g = CSRGraph.from_edges(star_edges(10))
+    assert g.degrees()[0] == 9
+    depth = reference_depths(g, 3)
+    assert depth[0] == 1 and depth[3] == 0
+    assert np.all(depth[np.arange(10) > 0] <= 2)
+
+
+def test_star_custom_hub():
+    e = star_edges(5, hub=2)
+    assert np.all(e.src == 2)
+
+
+def test_grid():
+    g = CSRGraph.from_edges(grid_edges(3, 4))
+    assert g.num_vertices == 12
+    depth = reference_depths(g, 0)
+    assert depth[11] == (2 + 3)  # Manhattan distance to the far corner
+
+
+def test_complete():
+    g = CSRGraph.from_edges(complete_edges(6))
+    assert np.all(g.degrees() == 5)
+    assert reference_depths(g, 0).max() == 1
+
+
+def test_erdos_renyi_deterministic():
+    a = erdos_renyi_edges(100, 4.0, seed=5)
+    b = erdos_renyi_edges(100, 4.0, seed=5)
+    assert np.array_equal(a.src, b.src)
+    assert a.num_edges == 200
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ring_edges(2)
+    with pytest.raises(ConfigError):
+        star_edges(1)
+    with pytest.raises(ConfigError):
+        star_edges(5, hub=9)
+    with pytest.raises(ConfigError):
+        grid_edges(0, 5)
+    with pytest.raises(ConfigError):
+        complete_edges(1)
+    with pytest.raises(ConfigError):
+        complete_edges(5000)
+    with pytest.raises(ConfigError):
+        erdos_renyi_edges(1, 2.0)
+    with pytest.raises(ConfigError):
+        erdos_renyi_edges(10, 0.0)

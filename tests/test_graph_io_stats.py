@@ -1,0 +1,142 @@
+"""Graph persistence + statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, EdgeList, KroneckerGenerator
+from repro.graph.generators import grid_edges, ring_edges, star_edges
+from repro.graph.io import (
+    load_edgelist,
+    read_edge_text,
+    save_edgelist,
+    write_edge_text,
+)
+from repro.graph.stats import component_sizes, degree_stats, eccentricity_profile
+
+
+def test_npz_roundtrip(tmp_path):
+    edges = KroneckerGenerator(scale=8, seed=3).generate()
+    path = save_edgelist(tmp_path / "g.npz", edges)
+    loaded = load_edgelist(path)
+    assert loaded.num_vertices == edges.num_vertices
+    assert np.array_equal(loaded.src, edges.src)
+    assert np.array_equal(loaded.dst, edges.dst)
+
+
+def test_npz_suffix_added(tmp_path):
+    edges = ring_edges(8)
+    path = save_edgelist(tmp_path / "noext", edges)
+    assert path.suffix == ".npz"
+    assert load_edgelist(path).num_edges == 8
+
+
+def test_npz_rejects_foreign_archives(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, whatever=np.arange(3))
+    with pytest.raises(ConfigError):
+        load_edgelist(path)
+
+
+def test_text_roundtrip(tmp_path):
+    edges = star_edges(10)
+    path = write_edge_text(tmp_path / "g.txt", edges)
+    loaded = read_edge_text(path)
+    assert loaded.num_vertices == 10
+    assert sorted(zip(loaded.src.tolist(), loaded.dst.tolist())) == sorted(
+        zip(edges.src.tolist(), edges.dst.tolist())
+    )
+
+
+def test_text_infers_vertex_count_without_header(tmp_path):
+    path = tmp_path / "raw.txt"
+    path.write_text("0 3\n2 1\n")
+    loaded = read_edge_text(path)
+    assert loaded.num_vertices == 4
+    assert loaded.num_edges == 2
+
+
+def test_text_explicit_vertex_count(tmp_path):
+    path = tmp_path / "raw.txt"
+    path.write_text("0 1\n")
+    assert read_edge_text(path, num_vertices=100).num_vertices == 100
+
+
+def test_matrix_market_roundtrip(tmp_path):
+    from repro.graph.io import read_matrix_market, write_matrix_market
+
+    edges = KroneckerGenerator(scale=7, seed=11).generate()
+    path = write_matrix_market(tmp_path / "g.mtx", edges)
+    loaded = read_matrix_market(path)
+    assert loaded.num_vertices == edges.num_vertices
+    assert np.array_equal(loaded.src, edges.src)
+    assert np.array_equal(loaded.dst, edges.dst)
+
+
+def test_matrix_market_reads_weighted_and_comments(tmp_path):
+    from repro.graph.io import read_matrix_market
+
+    path = tmp_path / "w.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 3 2\n"
+        "1 2 0.5\n"
+        "3 1 2.25\n"
+    )
+    loaded = read_matrix_market(path)
+    assert loaded.num_vertices == 3
+    assert sorted(zip(loaded.src.tolist(), loaded.dst.tolist())) == [(0, 1), (2, 0)]
+
+
+def test_matrix_market_rejects_garbage(tmp_path):
+    from repro.graph.io import read_matrix_market
+
+    bad = tmp_path / "bad.mtx"
+    bad.write_text("not a matrix\n1 1 1\n")
+    with pytest.raises(ConfigError):
+        read_matrix_market(bad)
+    short = tmp_path / "short.mtx"
+    short.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n"
+    )
+    with pytest.raises(ConfigError):
+        read_matrix_market(short)
+
+
+def test_degree_stats_on_kronecker_is_skewed():
+    edges = KroneckerGenerator(scale=11, seed=5).generate()
+    stats = degree_stats(edges)
+    assert stats.num_vertices == 1 << 11
+    assert stats.is_heavily_skewed()
+    assert stats.max_degree > 20 * stats.mean_degree
+    assert 0 < stats.gini < 1
+
+
+def test_degree_stats_on_ring_is_uniform():
+    stats = degree_stats(ring_edges(64))
+    assert stats.max_degree == 2
+    assert stats.mean_degree == pytest.approx(2.0)
+    assert stats.gini == pytest.approx(0.0, abs=1e-9)
+    assert not stats.is_heavily_skewed()
+    assert stats.isolated == 0
+
+
+def test_component_sizes():
+    e = EdgeList(np.array([0, 1, 5, 6]), np.array([1, 2, 6, 7]), 10)
+    sizes = component_sizes(CSRGraph.from_edges(e))
+    assert sizes.tolist() == [3, 3, 1, 1, 1, 1]
+
+
+def test_eccentricity_profile():
+    g = CSRGraph.from_edges(grid_edges(4, 4))
+    prof = eccentricity_profile(g, 0)
+    assert prof["reached"] == 16
+    assert prof["levels"] == 7  # corner-to-corner distance 6
+    # An isolated root reaches only itself.
+    isolated = CSRGraph.from_edges(EdgeList(np.array([1]), np.array([2]), 4))
+    lonely = eccentricity_profile(isolated, 0)
+    assert lonely["reached"] == 1
+    assert lonely["levels"] == 1
+    with pytest.raises(ConfigError):
+        eccentricity_profile(isolated, 99)

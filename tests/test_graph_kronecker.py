@@ -1,0 +1,68 @@
+"""Kronecker generator tests: determinism, shape, power-law skew."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import KroneckerGenerator
+
+
+def test_edge_and_vertex_counts():
+    gen = KroneckerGenerator(scale=10, edge_factor=16, seed=7)
+    e = gen.generate()
+    assert gen.num_vertices == 1024
+    assert e.num_vertices == 1024
+    assert e.num_edges == 16 * 1024
+
+
+def test_deterministic_per_seed():
+    a = KroneckerGenerator(scale=8, seed=3).generate()
+    b = KroneckerGenerator(scale=8, seed=3).generate()
+    assert np.array_equal(a.src, b.src)
+    assert np.array_equal(a.dst, b.dst)
+
+
+def test_different_seeds_differ():
+    a = KroneckerGenerator(scale=8, seed=3).generate()
+    b = KroneckerGenerator(scale=8, seed=4).generate()
+    assert not (np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst))
+
+
+def test_degree_distribution_is_heavily_skewed():
+    """Power law: the top 1% of vertices should hold a large share of edges."""
+    e = KroneckerGenerator(scale=12, seed=1).generate()
+    deg = np.sort(e.undirected_degrees())[::-1]
+    top = max(1, len(deg) // 100)
+    share = deg[:top].sum() / deg.sum()
+    assert share > 0.10
+    # And many vertices are isolated or near-isolated — the small-message
+    # problem the paper builds group batching for.
+    assert (deg <= 1).sum() > len(deg) * 0.05
+
+
+def test_permutation_destroys_block_structure():
+    """Without permutation, low ids are hot (A=0.57); with it, they aren't."""
+    hot = KroneckerGenerator(scale=10, seed=1, permute_vertices=False).generate()
+    cold = KroneckerGenerator(scale=10, seed=1, permute_vertices=True).generate()
+    n = hot.num_vertices
+    low_share_hot = ((hot.src < n // 4).sum() + (hot.dst < n // 4).sum()) / (
+        2 * hot.num_edges
+    )
+    low_share_cold = ((cold.src < n // 4).sum() + (cold.dst < n // 4).sum()) / (
+        2 * cold.num_edges
+    )
+    assert low_share_hot > 0.5  # raw R-MAT concentrates in the first quadrant
+    assert abs(low_share_cold - low_share_hot) > 0.1
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        KroneckerGenerator(scale=0)
+    with pytest.raises(ConfigError):
+        KroneckerGenerator(scale=10, edge_factor=0)
+    with pytest.raises(ConfigError):
+        KroneckerGenerator(scale=10, initiator=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_describe_mentions_scale():
+    assert "scale=10" in KroneckerGenerator(scale=10).describe()

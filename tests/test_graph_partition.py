@@ -1,0 +1,83 @@
+"""1D partitioning tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import Partition1D
+
+
+def test_block_partition_basics():
+    p = Partition1D(10, 3, mode="block")
+    assert [p.owner(v) for v in range(10)] == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+    assert p.part_range(0) == (0, 4)
+    assert p.part_range(2) == (8, 10)
+    assert p.part_size(2) == 2
+    assert p.local_index(9) == 1
+
+
+def test_cyclic_partition():
+    p = Partition1D(10, 3, mode="cyclic")
+    assert p.owner(7) == 1
+    assert p.local_index(7) == 2
+    assert p.global_ids(1).tolist() == [1, 4, 7]
+    with pytest.raises(ConfigError):
+        p.part_range(0)
+
+
+def test_balanced_partition_evens_out_edges():
+    # Hub-heavy prefix: first vertex has weight 100, rest weight 1.
+    w = np.ones(100)
+    w[0] = 100.0
+    p = Partition1D(100, 4, mode="balanced", edge_weights=w)
+    # Part 0 should be much narrower than the others.
+    assert p.part_size(0) < 100 // 4
+    sizes = [p.part_size(i) for i in range(4)]
+    assert sum(sizes) == 100
+    # Weight per part should be within 2x of each other.
+    weights = [w[p.global_ids(i)].sum() + p.part_size(i) for i in range(4)]
+    assert max(weights) / min(weights) < 2.5
+
+
+def test_owner_vectorised():
+    p = Partition1D(16, 4)
+    owners = p.owner(np.arange(16, dtype=np.int64))
+    assert owners.tolist() == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        Partition1D(0, 1)
+    with pytest.raises(ConfigError):
+        Partition1D(4, 8)
+    with pytest.raises(ConfigError):
+        Partition1D(8, 2, mode="bogus")
+    with pytest.raises(ConfigError):
+        Partition1D(8, 2, mode="balanced")  # needs weights
+    p = Partition1D(8, 2)
+    with pytest.raises(ConfigError):
+        p.owner(8)
+    with pytest.raises(ConfigError):
+        p.part_size(2)
+
+
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.integers(min_value=1, max_value=32),
+    st.sampled_from(["block", "cyclic"]),
+)
+def test_partition_is_total_and_consistent(n, parts, mode):
+    if parts > n:
+        parts = n
+    p = Partition1D(n, parts, mode=mode)
+    seen = []
+    for part in range(parts):
+        ids = p.global_ids(part)
+        assert len(ids) == p.part_size(part)
+        for v in ids.tolist():
+            assert p.owner(v) == part
+        # local indices are 0..size-1 in order
+        assert p.local_index(ids).tolist() == list(range(len(ids)))
+        seen.extend(ids.tolist())
+    assert sorted(seen) == list(range(n))

@@ -1,0 +1,62 @@
+"""CPE-cluster timing model tests (shuffle throughput calibration)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import CpeCluster
+from repro.machine.cluster import (
+    MEASURED_SHUFFLE_BANDWIDTH,
+    SHUFFLE_PIPELINE_EFFICIENCY,
+    THEORETICAL_SHUFFLE_BANDWIDTH,
+)
+from repro.utils.units import GBPS
+
+cluster = CpeCluster()
+
+
+def test_default_shuffle_bandwidth_matches_paper_measurement():
+    # Section 4.3: "we achieve 10 GB/s register to register bandwidth out of
+    # a theoretical 14.5 GB/s".
+    bw = cluster.shuffle_bandwidth()
+    assert bw == pytest.approx(10.0 * GBPS, rel=0.01)
+    assert THEORETICAL_SHUFFLE_BANDWIDTH == pytest.approx(14.45 * GBPS)
+    assert 0.6 < SHUFFLE_PIPELINE_EFFICIENCY < 0.75
+
+
+def test_shuffle_bandwidth_limited_by_consumer_side():
+    # Starve the write side: 2 consumers cap the pipe at ~2 x 2.4 GB/s x eff.
+    bw = cluster.shuffle_bandwidth(n_producers=32, n_consumers=2)
+    assert bw == pytest.approx(SHUFFLE_PIPELINE_EFFICIENCY * 2 * 2.4 * GBPS)
+
+
+def test_shuffle_bandwidth_limited_by_producer_side():
+    bw = cluster.shuffle_bandwidth(n_producers=2, n_consumers=16)
+    assert bw == pytest.approx(SHUFFLE_PIPELINE_EFFICIENCY * 2 * 2.4 * GBPS)
+
+
+def test_shuffle_time_is_bandwidth_bound_for_big_batches():
+    t = cluster.shuffle_time(MEASURED_SHUFFLE_BANDWIDTH)  # one second's bytes
+    assert t == pytest.approx(1.0, rel=0.01)
+
+
+def test_shuffle_time_zero_bytes():
+    assert cluster.shuffle_time(0) == 0.0
+
+
+def test_partitioned_time_uses_cluster_dma():
+    t = cluster.partitioned_time(28.9 * GBPS)
+    assert t == pytest.approx(1.0)
+
+
+def test_role_counts_validated():
+    with pytest.raises(ConfigError):
+        cluster.shuffle_bandwidth(n_producers=0)
+    with pytest.raises(ConfigError):
+        cluster.shuffle_bandwidth(n_producers=60, n_consumers=10)
+    with pytest.raises(ConfigError):
+        cluster.shuffle_time(-1)
+
+
+def test_module_startup_is_submicrosecond():
+    # Flag polling must beat the 10 us interrupt path or the design is moot.
+    assert cluster.module_startup_time() < 1e-6

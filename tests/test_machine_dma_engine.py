@@ -1,0 +1,72 @@
+"""Mechanistic DMA engine vs the fitted Figure 3 curve."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import DmaModel
+from repro.machine.dma_engine import DmaEngineParams, DmaEngineSim
+from repro.utils.units import GBPS
+
+engine = DmaEngineSim()
+fitted = DmaModel()
+
+
+def test_saturation_chunk_derived_not_assumed():
+    """~13 cycles of descriptor processing puts the knee at exactly 256 B."""
+    assert engine.saturation_chunk() == 256
+
+
+def test_peak_matches_published():
+    assert engine.analytic_bandwidth(256) == pytest.approx(28.9 * GBPS)
+    assert engine.analytic_bandwidth(4096) == pytest.approx(28.9 * GBPS)
+
+
+def test_single_cpe_near_the_calibrated_share():
+    """One CPE's request window caps it near the 2.4 GB/s the fitted model
+    assigns per CPE."""
+    bw = engine.single_cpe_bandwidth(256)
+    assert bw == pytest.approx(2.4 * GBPS, rel=0.15)
+
+
+def test_sixteen_cpes_saturate_mechanistically():
+    assert engine.analytic_bandwidth(256, 16) == pytest.approx(28.9 * GBPS, rel=0.25)
+    assert engine.analytic_bandwidth(256, 8) < 28.9 * GBPS
+
+
+def test_mechanistic_and_fitted_curves_agree_within_3x():
+    """The two models bracket each other below saturation and agree above."""
+    for chunk in (8, 16, 32, 64, 128, 256, 1024):
+        mech = engine.analytic_bandwidth(chunk)
+        fit = fitted.cluster_bandwidth(chunk)
+        assert mech / 3 < fit < mech * 3, chunk
+    assert engine.analytic_bandwidth(512) == pytest.approx(
+        fitted.cluster_bandwidth(512)
+    )
+
+
+def test_simulation_approaches_the_closed_form():
+    for chunk in (64, 256, 1024):
+        simulated = engine.stream(total_bytes=1 << 22, chunk=chunk, n_cpes=64)
+        analytic = engine.analytic_bandwidth(chunk, 64)
+        assert simulated == pytest.approx(analytic, rel=0.2), chunk
+
+
+def test_simulation_respects_per_cpe_window():
+    one = engine.stream(total_bytes=1 << 20, chunk=256, n_cpes=1)
+    assert one == pytest.approx(engine.single_cpe_bandwidth(256), rel=0.1)
+
+
+def test_more_outstanding_requests_raise_single_cpe_bandwidth():
+    deeper = DmaEngineSim(DmaEngineParams(outstanding=4))
+    assert deeper.single_cpe_bandwidth(256) > engine.single_cpe_bandwidth(256)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        engine.analytic_bandwidth(0)
+    with pytest.raises(ConfigError):
+        engine.stream(0, 256)
+    with pytest.raises(ConfigError):
+        DmaEngineParams(setup_time=0)
+    with pytest.raises(ConfigError):
+        DmaEngineParams(outstanding=0)

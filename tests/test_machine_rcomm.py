@@ -1,0 +1,55 @@
+"""Register-communication primitive tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.rcomm import BYTES_PER_CYCLE, SYNC_CYCLES, RegisterComm
+from repro.machine.cluster import CpeCluster
+
+rc = RegisterComm()
+
+
+def test_point_to_point_cycles():
+    # 64 B = 2 payload cycles + handshake.
+    assert rc.send_cycles((0, 0), (0, 5), 64) == SYNC_CYCLES + 2
+    # Sub-word payloads still cost one cycle.
+    assert rc.send_cycles((2, 3), (7, 3), 1) == SYNC_CYCLES + 1
+    assert rc.send_cycles((0, 0), (0, 1), 0) == SYNC_CYCLES
+
+
+def test_legality_enforced():
+    with pytest.raises(ConfigError):
+        rc.send_cycles((0, 0), (1, 1), 8)
+    with pytest.raises(ConfigError):
+        rc.send_cycles((0, 0), (0, 0), 8)
+    with pytest.raises(ConfigError):
+        rc.send_cycles((0, 0), (0, 1), -1)
+
+
+def test_broadcast_fanout_counts():
+    flag = 8  # one 64-bit flag
+    row = rc.row_broadcast_cycles((0, 0), flag)
+    col = rc.column_broadcast_cycles((0, 0), flag)
+    assert row == SYNC_CYCLES + 7
+    assert col == SYNC_CYCLES + 7
+    assert rc.cluster_broadcast_cycles((0, 0), flag) == row + col
+
+
+def test_cluster_broadcast_is_nanoseconds():
+    """The whole 64-CPE notification fan-out costs ~15 ns — which is why
+    flag polling + register broadcast beats the 10 us interrupt."""
+    t = rc.cluster_broadcast_time(8)
+    assert 5e-9 < t < 50e-9
+    assert t < 10e-6 / 100  # orders below the interrupt path
+
+
+def test_peak_pair_bandwidth():
+    assert rc.peak_pair_bandwidth() == pytest.approx(32 * 1.45e9)
+
+
+def test_module_startup_constant_is_consistent():
+    """The pipeline's flag-poll startup constant dominates the register
+    fan-out it includes — memory latency is the expensive part."""
+    startup = CpeCluster().module_startup_time()
+    fanout = rc.cluster_broadcast_time(8)
+    assert fanout < startup

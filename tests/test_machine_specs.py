@@ -1,0 +1,72 @@
+"""The machine spec must agree with Table 1 and the paper's prose."""
+
+from repro.machine import TAIHULIGHT
+from repro.machine.specs import spec_table_rows
+from repro.utils.units import GBPS, GiB, KiB, US
+
+
+def test_full_machine_node_count():
+    # 40 cabinets x 4 super nodes x 256 nodes = 40,960 nodes.
+    assert TAIHULIGHT.taihulight.total_nodes == 40_960
+
+
+def test_full_machine_core_count():
+    # 260 cores per node -> 10.6 million cores.
+    assert TAIHULIGHT.taihulight.total_cores == 10_649_600
+
+
+def test_node_composition():
+    node = TAIHULIGHT.node
+    assert node.core_groups == 4
+    assert node.total_cpes == 256
+    assert node.total_cores == 260
+    assert node.memory_bytes == 32 * GiB
+
+
+def test_core_group_composition():
+    cg = TAIHULIGHT.core_group
+    assert cg.cpes_per_cluster == 64
+    assert cg.mesh_rows == 8 and cg.mesh_cols == 8
+    assert cg.dram_bytes == 8 * GiB
+
+
+def test_frequencies_and_caches():
+    cg = TAIHULIGHT.core_group
+    assert cg.mpe.frequency_hz == cg.cpe.frequency_hz == 1.45e9
+    assert cg.mpe.l1d_bytes == 32 * KiB
+    assert cg.mpe.l2_bytes == 256 * KiB
+    assert cg.cpe.spm_bytes == 64 * KiB
+    assert cg.cpe.l1i_bytes == 16 * KiB
+
+
+def test_published_bandwidths():
+    cg = TAIHULIGHT.core_group
+    assert cg.mpe.memory_bandwidth == 9.4 * GBPS
+    assert cg.cluster_dma_bandwidth == 28.9 * GBPS
+
+
+def test_interrupt_latency_is_ten_microseconds():
+    assert TAIHULIGHT.core_group.mpe.interrupt_latency == 10 * US
+
+
+def test_network_constants():
+    t = TAIHULIGHT.taihulight
+    assert t.nodes_per_super_node == 256
+    assert t.central_oversubscription == 4
+    assert t.nic_raw_bandwidth == 7e9  # 56 Gbps
+    assert t.nic_effective_bandwidth == 1.2 * GBPS
+
+
+def test_mpi_connection_cost_matches_paper():
+    node = TAIHULIGHT.node
+    assert node.mpi_connection_bytes == 100_000
+    # Section 4.4's arithmetic: 40,000 connections ~ 4 GB.
+    assert 40_000 * node.mpi_connection_bytes == 4_000_000_000
+
+
+def test_spec_table_matches_table1():
+    rows = dict(spec_table_rows())
+    assert rows["CPE"] == "1.45 GHz, 64KB SPM"
+    assert rows["CG"] == "1 MPE + 64 CPEs + 1 MC"
+    assert rows["Cabinet"] == "4 Super Nodes"
+    assert rows["TaihuLight"] == "40 Cabinets"

@@ -1,0 +1,78 @@
+"""SPM allocator tests — including the Direct-CPE overflow failure mode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, SpmOverflow
+from repro.machine import Spm
+from repro.machine.spm import check_staging_layout
+
+
+def test_capacity_is_64kb_by_default():
+    assert Spm().capacity == 64 * 1024
+
+
+def test_alloc_and_free_track_usage():
+    spm = Spm()
+    spm.alloc("a", 1000)
+    spm.alloc("b", 2000)
+    assert spm.used == 3000
+    assert spm.free == 64 * 1024 - 3000
+    spm.free_buffer("a")
+    assert spm.used == 2000
+    assert spm.layout() == {"b": 2000}
+
+
+def test_overflow_raises():
+    spm = Spm()
+    spm.alloc("big", 60_000)
+    with pytest.raises(SpmOverflow):
+        spm.alloc("more", 10_000)
+
+
+def test_exact_fit_is_allowed():
+    spm = Spm()
+    spm.alloc("all", 64 * 1024)
+    assert spm.free == 0
+
+
+def test_double_alloc_and_unknown_free_rejected():
+    spm = Spm()
+    spm.alloc("x", 10)
+    with pytest.raises(ConfigError):
+        spm.alloc("x", 10)
+    with pytest.raises(ConfigError):
+        spm.free_buffer("y")
+
+
+def test_reset_clears_everything():
+    spm = Spm()
+    spm.alloc("x", 100)
+    spm.reset()
+    assert spm.used == 0
+    assert spm.layout() == {}
+
+
+def test_staging_layout_small_scale_fits():
+    # 16 destinations x 256 B staging buffers easily fit one CPE's SPM.
+    used = check_staging_layout(num_buffers=16, buffer_bytes=256)
+    assert used <= 64 * 1024
+
+
+def test_staging_layout_direct_cpe_crash():
+    # Direct CPE at large node counts: per-destination buffers for
+    # thousands of peers cannot fit 64 KB -> the Figure 11 crash.
+    with pytest.raises(SpmOverflow):
+        check_staging_layout(num_buffers=1024, buffer_bytes=256)
+
+
+@given(st.integers(min_value=0, max_value=300), st.integers(min_value=1, max_value=512))
+def test_staging_layout_accounting_is_exact(n, size):
+    reserved = 4 * 1024
+    try:
+        used = check_staging_layout(n, size, reserved_bytes=reserved)
+    except SpmOverflow:
+        assert reserved + n * size > 64 * 1024
+    else:
+        assert used == reserved + n * size
+        assert used <= 64 * 1024

@@ -1,0 +1,120 @@
+"""Frame-of-reference codec tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.network.codec import (
+    FRAME_HEADER_BYTES,
+    compression_ratio,
+    decode_records,
+    encode_records,
+    encoded_size,
+)
+
+
+def roundtrip(u, v):
+    blob = encode_records(np.array(u, dtype=np.int64), np.array(v, dtype=np.int64))
+    du, dv = decode_records(blob)
+    return blob, du, dv
+
+
+def test_roundtrip_preserves_pairs_as_multiset():
+    u = [10, 99, 10, 5]
+    v = [3, 1, 3, 200]
+    blob, du, dv = roundtrip(u, v)
+    assert sorted(zip(du.tolist(), dv.tolist())) == sorted(zip(u, v))
+    assert dv.tolist() == sorted(dv.tolist())  # decoder returns v-sorted
+
+
+def test_empty_batch():
+    blob, du, dv = roundtrip([], [])
+    assert len(blob) == FRAME_HEADER_BYTES
+    assert len(du) == len(dv) == 0
+    assert encoded_size(np.array([]), np.array([])) == FRAME_HEADER_BYTES
+
+
+def test_single_record():
+    blob, du, dv = roundtrip([7], [42])
+    assert du.tolist() == [7] and dv.tolist() == [42]
+
+
+def test_encoded_size_matches_actual_encoding():
+    rng = np.random.default_rng(0)
+    v = np.sort(rng.integers(0, 1 << 20, size=500))
+    u = rng.integers(1 << 10, 1 << 12, size=500)
+    blob = encode_records(u, v)
+    assert len(blob) == encoded_size(u, v)
+
+
+def test_dense_batches_compress_well():
+    """Sorted near-contiguous targets (the BFS case) beat 8 B/record."""
+    v = np.arange(10_000, dtype=np.int64) * 3  # deltas of 3 -> 2 bits
+    u = np.full(10_000, 123456, dtype=np.int64)  # constant -> 1 bit
+    ratio = compression_ratio(u, v)
+    assert ratio > 10
+
+
+def test_random_wide_batches_compress_little():
+    rng = np.random.default_rng(1)
+    v = rng.integers(0, 1 << 40, size=1000)
+    u = rng.integers(0, 1 << 40, size=1000)
+    ratio = compression_ratio(u, v)
+    assert 0.8 < ratio < 2.0  # wide ranges: near raw size
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        encode_records(np.array([1, 2]), np.array([1]))
+    with pytest.raises(ConfigError):
+        encode_records(np.array([-1]), np.array([1]))
+    with pytest.raises(ConfigError):
+        decode_records(b"short")
+    blob = encode_records(np.array([1]), np.array([2]))
+    with pytest.raises(ConfigError):
+        decode_records(blob[:-1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 48),
+            st.integers(min_value=0, max_value=1 << 48),
+        ),
+        max_size=200,
+    )
+)
+def test_roundtrip_property(pairs):
+    u = np.array([p[0] for p in pairs], dtype=np.int64)
+    v = np.array([p[1] for p in pairs], dtype=np.int64)
+    blob = encode_records(u, v)
+    assert len(blob) == encoded_size(u, v)
+    du, dv = decode_records(blob)
+    assert sorted(zip(du.tolist(), dv.tolist())) == sorted(zip(u.tolist(), v.tolist()))
+
+
+def test_codec_mode_in_bfs_shrinks_bytes_and_stays_correct():
+    from repro.core import BFSConfig, DistributedBFS
+    from repro.graph import CSRGraph, KroneckerGenerator
+    from repro.graph500.validate import validate_bfs_result
+
+    edges = KroneckerGenerator(scale=10, seed=61).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    base_cfg = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+    codec_cfg = BFSConfig(
+        use_codec=True, hub_count_topdown=16, hub_count_bottomup=16
+    )
+    plain = DistributedBFS(edges, 8, config=base_cfg, nodes_per_super_node=4).run(root)
+    packed = DistributedBFS(edges, 8, config=codec_cfg, nodes_per_super_node=4).run(root)
+    validate_bfs_result(graph, edges, root, packed.parent)
+    assert packed.stats["bytes"] < plain.stats["bytes"]
+
+
+def test_codec_and_ratio_are_exclusive():
+    from repro.core import BFSConfig
+
+    with pytest.raises(ConfigError):
+        BFSConfig(use_codec=True, compression_ratio=2.0)

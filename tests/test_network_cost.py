@@ -1,0 +1,83 @@
+"""Network cost model tests: bandwidth, latency, contention, oversubscription."""
+
+import pytest
+
+from repro.machine import TAIHULIGHT
+from repro.network import FatTreeTopology, NetworkModel
+from repro.utils.units import GBPS, US
+
+
+def make(num_nodes=512):
+    return NetworkModel(FatTreeTopology(num_nodes), TAIHULIGHT)
+
+
+def test_self_send_is_free():
+    net = make()
+    assert net.transfer(3, 3, 1 << 20, now=5.0) == 5.0
+
+
+def test_intra_super_node_large_message_bandwidth():
+    """A large intra-super-node message moves at the 1.2 GB/s NIC rate."""
+    net = make()
+    nbytes = int(1.2 * GBPS)  # one second's worth
+    arrival = net.transfer(0, 1, nbytes, now=0.0)
+    # Two NIC serialisations (out + in, store-and-forward) + 1 us latency.
+    assert arrival == pytest.approx(2.0 + 1 * US)
+
+
+def test_inter_super_node_adds_trunk_and_latency():
+    net = make()
+    t_intra = net.transfer(0, 1, 1 << 20, now=0.0)
+    net.reset()
+    t_inter = net.transfer(0, 300, 1 << 20, now=0.0)
+    assert t_inter > t_intra
+
+
+def test_latencies():
+    net = make()
+    assert net.latency(0, 1) == 1 * US
+    assert net.latency(0, 300) == 3 * US
+    assert net.latency(7, 7) == 0.0
+
+
+def test_nic_contention_serialises():
+    """Two messages out of one node queue on its NIC."""
+    net = make()
+    nbytes = int(0.6 * GBPS)  # 0.5 s each on the NIC
+    a1 = net.transfer(0, 1, nbytes, now=0.0)
+    a2 = net.transfer(0, 2, nbytes, now=0.0)
+    assert a2 > a1  # second message waits behind the first on nic_out[0]
+
+
+def test_central_trunk_is_oversubscribed():
+    """256 simultaneous inter-super-node flows collapse to 1/4 bandwidth."""
+    net = make(512)
+    nbytes = 1 << 20
+    arrivals = [net.transfer(i, 256 + i, nbytes, now=0.0) for i in range(256)]
+    # Aggregate uplink carries 256 MB at 256*1.2/4 GB/s ~ 3.5 ms serialised,
+    # versus ~0.9 ms if each NIC were independent end to end.
+    per_nic_time = nbytes / (1.2 * GBPS)
+    assert max(arrivals) > 3 * per_nic_time
+
+
+def test_intra_flows_avoid_the_trunk():
+    net = make(512)
+    net.transfer(0, 1, 1 << 20, now=0.0)
+    assert net.central_bytes() == 0
+    net.transfer(0, 300, 1 << 20, now=0.0)
+    assert net.central_bytes() == 1 << 20
+
+
+def test_total_bytes_counts_each_message_once():
+    net = make()
+    net.transfer(0, 1, 100, now=0.0)
+    net.transfer(0, 300, 200, now=0.0)
+    assert net.total_bytes() == 300
+
+
+def test_reset():
+    net = make()
+    net.transfer(0, 1, 1 << 20, now=0.0)
+    net.reset()
+    assert net.total_bytes() == 0
+    assert net.transfer(0, 1, 1 << 10, now=0.0) < 1e-3

@@ -1,0 +1,67 @@
+"""Fat-tree topology tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.network import FatTreeTopology
+
+
+def test_super_node_partitioning():
+    topo = FatTreeTopology(1024, nodes_per_super_node=256)
+    assert topo.num_super_nodes == 4
+    assert topo.super_node_of(0) == 0
+    assert topo.super_node_of(255) == 0
+    assert topo.super_node_of(256) == 1
+    assert topo.super_node_of(1023) == 3
+
+
+def test_partial_last_super_node():
+    topo = FatTreeTopology(300, nodes_per_super_node=256)
+    assert topo.num_super_nodes == 2
+    assert list(topo.nodes_in_super_node(1)) == list(range(256, 300))
+
+
+def test_intra_vs_inter():
+    topo = FatTreeTopology(512)
+    assert topo.is_intra_super_node(3, 200)
+    assert not topo.is_intra_super_node(3, 300)
+
+
+def test_hop_counts():
+    topo = FatTreeTopology(512)
+    assert topo.hop_count(5, 5) == 0
+    assert topo.hop_count(5, 6) == 2
+    assert topo.hop_count(5, 300) == 4
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        FatTreeTopology(0)
+    with pytest.raises(ConfigError):
+        FatTreeTopology(10, nodes_per_super_node=0)
+    with pytest.raises(ConfigError):
+        FatTreeTopology(10, central_oversubscription=0)
+    topo = FatTreeTopology(10)
+    with pytest.raises(ConfigError):
+        topo.check_node(10)
+    with pytest.raises(ConfigError):
+        topo.nodes_in_super_node(5)
+
+
+def test_full_machine_has_160_lower_switches():
+    # Section 3.3: "the upper level network connects the 160 lower level
+    # switches" — 40,960 / 256 = 160.
+    topo = FatTreeTopology(40_960)
+    assert topo.num_super_nodes == 160
+
+
+@given(st.integers(min_value=1, max_value=5000), st.integers(min_value=1, max_value=512))
+def test_every_node_in_exactly_one_super_node(num_nodes, nps):
+    topo = FatTreeTopology(num_nodes, nodes_per_super_node=nps)
+    seen = set()
+    for sn in range(topo.num_super_nodes):
+        members = set(topo.nodes_in_super_node(sn))
+        assert not (members & seen)
+        seen |= members
+    assert seen == set(range(num_nodes))

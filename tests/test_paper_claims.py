@@ -1,0 +1,134 @@
+"""The paper's quantitative sentences, each as an executable assertion.
+
+One test per claim, quoting the sentence it checks. Model-only (fast);
+the benchmark harness carries the heavier functional versions.
+"""
+
+import pytest
+
+from repro.core import BFSConfig, ShufflePlan
+from repro.core.batching import GroupLayout
+from repro.core.config import RoleLayout
+from repro.machine import DmaModel, TAIHULIGHT
+from repro.machine.cluster import CpeCluster
+from repro.perf import ScalingModel
+from repro.utils.units import GBPS, US
+
+model = ScalingModel()
+
+
+def test_claim_title_ten_million_cores():
+    """Title: "...with Ten Million Cores"."""
+    assert TAIHULIGHT.taihulight.total_cores == 10_649_600
+
+
+def test_claim_abstract_best_heterogeneous_second_overall():
+    """Abstract: "the best among heterogeneous machines and the second
+    overall in the Graph500s June 2016 list"."""
+    ours = model.headline().gteps
+    from repro.perf.scaling import TABLE2_PUBLISHED
+
+    others = [r for r in TABLE2_PUBLISHED if r.authors != "Present Work"]
+    assert all(ours > r.gteps for r in others if r.heterogeneous)
+    assert sum(r.gteps > ours for r in others) == 1
+
+
+def test_claim_s3_interrupt_ten_times_intel():
+    """S3.1: "the latency of system interrupt is about 10 us"."""
+    assert TAIHULIGHT.core_group.mpe.interrupt_latency == 10 * US
+
+
+def test_claim_s3_figure3_quote():
+    """S3.2: "the maximum memory bandwidth MPEs can achieve is 9.4 GB/s.
+    However, CPE clusters can achieve ... 28.9 GB/s"."""
+    dma = DmaModel()
+    assert dma.mpe_bandwidth(256) == 9.4 * GBPS
+    assert dma.cluster_bandwidth(256) == 28.9 * GBPS
+
+
+def test_claim_s3_connection_memory():
+    """S3.3: "every connection uses 100 KB memory due to the MPI library,
+    so an MPE needs 4 GB memory just for establishing connections"."""
+    per = TAIHULIGHT.node.mpi_connection_bytes
+    assert per == 100_000
+    assert 40_000 * per == 4_000_000_000
+
+
+def test_claim_s43_register_bandwidth():
+    """S4.3: "we achieve 10 GB/s register to register bandwidth out of a
+    theoretical 14.5 GB/s"."""
+    assert CpeCluster().shuffle_bandwidth() == pytest.approx(10 * GBPS, rel=0.01)
+
+
+def test_claim_s43_1024_destinations():
+    """S4.3: "we can handle up to 1024 destinations in practice"."""
+    limit = BFSConfig().max_shuffle_destinations()
+    assert 512 <= limit <= 1024
+    ShufflePlan(RoleLayout(), num_destinations=limit)  # feasible at the limit
+
+
+def test_claim_s44_message_reduction():
+    """S4.4: "the message number is only (N + M - 1)" versus N*M."""
+    g = GroupLayout(40_000, 200)
+    assert g.relay_connections(123) <= 200 + 200 - 1
+    assert g.direct_connections() == 39_999
+
+
+def test_claim_s44_mpi_memory_reduction():
+    """S4.4: "reduced from ... 4 GB to ((200 + 200 - 1) * 100 KB =)
+    40 MB, approximately"."""
+    g = GroupLayout(40_000, 200)
+    relay_mem = g.relay_connections(0) * 100_000
+    assert relay_mem == pytest.approx(39.9e6, rel=0.02)
+
+
+def test_claim_s6_cpe_factor_of_ten():
+    """S6.1: "properly used CPE clusters can improve performance by a
+    factor of 10"."""
+    ratios = [
+        model.fig11_point("relay-cpe", n).gteps
+        / model.fig11_point("relay-mpe", n).gteps
+        for n in (64, 256, 1024, 4096)
+    ]
+    assert all(6 < r < 20 for r in ratios)
+
+
+def test_claim_s6_direct_cpe_crashes_beyond_256():
+    """S6.1: "better performance for up to 256 nodes, but it crashes when
+    the scale increases because of the limitation of SPM size"."""
+    assert model.fig11_point("direct-cpe", 256).ok
+    assert model.fig11_point("direct-cpe", 1024).crashed == "spm-overflow"
+
+
+def test_claim_s6_direct_mpe_crashes_at_16384():
+    """S6.1: "At a scale of 16,384 nodes, Direct MPE crashes from memory
+    exhaust caused by too many MPI connections"."""
+    assert model.fig11_point("direct-mpe", 4096).ok
+    assert (
+        model.fig11_point("direct-mpe", 16384).crashed == "connection-memory"
+    )
+
+
+def test_claim_s6_weak_scaling_linear():
+    """S6.2: "almost linear weak scaling speedup with the CPU number
+    increasing from 80 to 40,768"."""
+    series = model.fig12_series(26.2e6)
+    first, last = series[0], series[-1]
+    speedup = last.gteps / first.gteps
+    ideal = last.nodes / first.nodes
+    assert speedup > ideal / 3
+
+
+def test_claim_s6_size_gaps():
+    """S6.2: "the result of 26.2M is nearly four times that of 6.5M, with
+    the same gap between 6.5M and 1.6M" (we land 2.8x-3.6x)."""
+    full = {v: model.fig12_series(v)[-1].gteps for v in (1.6e6, 6.5e6, 26.2e6)}
+    assert 2 < full[6.5e6] / full[1.6e6] < 5
+    assert 2 < full[26.2e6] / full[6.5e6] < 5
+
+
+def test_claim_conclusion_headline():
+    """Conclusion: "40,768 nodes ... 23,755.7 GTEPS" (we model 96%)."""
+    h = model.headline()
+    assert h.nodes == 40_768
+    assert h.gteps == pytest.approx(23_755.7, rel=0.2)

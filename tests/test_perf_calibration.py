@@ -1,0 +1,56 @@
+"""Confront the model's calibrated constants with functional measurements."""
+
+from repro.core import BFSConfig
+from repro.perf import PerfParams
+from repro.perf.calibration import measure_fractions
+
+
+def test_optimized_work_fraction_band():
+    """With direction opt + hubs, the functional simulator shuffles a small
+    fraction of the 2m edge slots — same order as the calibrated 0.12."""
+    m = measure_fractions(
+        scale=12, nodes=8,
+        config=BFSConfig(hub_count_topdown=32, hub_count_bottomup=32),
+    )
+    p = PerfParams()
+    assert m.work_fraction < 0.5
+    assert p.work_fraction_optimized / 6 < m.work_fraction < p.work_fraction_optimized * 6
+
+
+def test_plain_topdown_work_fraction_near_one():
+    m = measure_fractions(
+        scale=12, nodes=8,
+        config=BFSConfig(
+            direction_optimizing=False, use_hub_prefetch=False, use_relay=False
+        ),
+    )
+    # Pure top-down touches nearly every directed slot once.
+    assert 0.5 < m.work_fraction <= 1.4
+
+
+def test_optimization_ordering_matches_model():
+    """Functional work fractions order the same way the model's constants do."""
+    hub_cfg = BFSConfig(hub_count_topdown=32, hub_count_bottomup=32)
+    no_hub = BFSConfig(use_hub_prefetch=False)
+    plain = BFSConfig(direction_optimizing=False, use_hub_prefetch=False)
+    f_hub = measure_fractions(scale=11, nodes=8, config=hub_cfg).work_fraction
+    f_nohub = measure_fractions(scale=11, nodes=8, config=no_hub).work_fraction
+    f_plain = measure_fractions(scale=11, nodes=8, config=plain).work_fraction
+    assert f_hub < f_nohub < f_plain
+    p = PerfParams()
+    assert (
+        p.work_fraction_optimized
+        < p.work_fraction_no_hubs
+        < p.work_fraction_topdown
+    )
+
+
+def test_level_structure_matches_model_assumption():
+    """Kronecker BFS depth is shallow, and the hybrid runs BU levels."""
+    m = measure_fractions(
+        scale=12, nodes=8,
+        config=BFSConfig(hub_count_topdown=32, hub_count_bottomup=32),
+    )
+    p = PerfParams()
+    assert 3 <= m.levels <= p.levels + 3
+    assert m.bu_levels >= 1

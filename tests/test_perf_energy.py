@@ -1,0 +1,56 @@
+"""Energy model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.energy import EnergyModel, EnergyParams
+
+model = EnergyModel()
+
+
+def test_totals_and_metrics_positive():
+    e = model.evaluate(4096, 16e6, "relay-cpe")
+    assert e.total_joules > 0
+    assert e.nanojoules_per_edge > 0
+    assert e.gteps_per_megawatt > 0
+    assert e.total_joules == pytest.approx(
+        e.static_joules + e.dram_joules + e.network_joules + e.messaging_joules
+    )
+
+
+def test_static_power_dominates_at_scale():
+    """375 W x 40k nodes x ~0.8 s dwarfs the picojoule data terms — the
+    standard HPC reality: time *is* energy, so faster is greener."""
+    e = model.evaluate(40_768, 26.2e6, "relay-cpe")
+    assert e.static_joules > 5 * (e.dram_joules + e.network_joules)
+
+
+def test_cpe_variant_is_greener_than_mpe():
+    cpe = model.evaluate(4096, 16e6, "relay-cpe")
+    mpe = model.evaluate(4096, 16e6, "relay-mpe")
+    assert cpe.nanojoules_per_edge < mpe.nanojoules_per_edge
+    assert cpe.gteps_per_megawatt > mpe.gteps_per_megawatt
+
+
+def test_energy_per_edge_improves_with_per_node_data():
+    small = model.evaluate(4096, 1.6e6)
+    large = model.evaluate(4096, 26.2e6)
+    assert large.nanojoules_per_edge < small.nanojoules_per_edge
+
+
+def test_crashing_config_rejected():
+    with pytest.raises(ConfigError):
+        model.evaluate(16_384, 16e6, "direct-mpe")
+
+
+def test_params_validated():
+    with pytest.raises(ConfigError):
+        EnergyParams(node_static_watts=0)
+
+
+def test_headline_power_is_machine_scale():
+    """Implied power draw of the full machine sits in the megawatt range
+    the Top500 entry reports (~15 MW)."""
+    e = model.evaluate(40_768, 26.2e6)
+    watts = e.total_joules / e.point.total_seconds
+    assert 10e6 < watts < 25e6

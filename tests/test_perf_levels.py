@@ -1,0 +1,67 @@
+"""Per-level cost model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import CostModel
+from repro.perf.levels import (
+    HYBRID_LEVEL_SHARES,
+    LevelModel,
+    LevelCost,
+)
+
+model = LevelModel()
+
+
+def test_shares_sum_to_one():
+    assert sum(HYBRID_LEVEL_SHARES) == pytest.approx(1.0)
+
+
+def test_per_level_totals_match_lumped_model():
+    point = CostModel().evaluate(4096, 16e6, "relay-cpe")
+    total = model.total_seconds(4096, 16e6)
+    assert total == pytest.approx(point.total_seconds, rel=1e-9)
+
+
+def test_bulk_level_dominates_data_time():
+    costs = model.level_costs(4096, 16e6)
+    data = [c.data_seconds for c in costs]
+    assert max(data) == data[2]  # the bottom-up bulk level
+    assert data[2] > 0.5 * sum(data)
+
+
+def test_small_levels_are_latency_bound_at_scale():
+    """At 40k nodes the first and last levels pay overheads, not data —
+    the Figure 12 'high latency' regime."""
+    costs = model.level_costs(40_768, 1.6e6)
+    assert costs[0].latency_bound
+    assert costs[-1].latency_bound
+    # With 16x more data per node, fewer levels stay latency-bound.
+    small = model.latency_bound_levels(40_768, 1.6e6)
+    large = model.latency_bound_levels(40_768, 26.2e6)
+    assert large <= small
+
+
+def test_bottomup_levels_carry_more_overhead():
+    costs = model.level_costs(1024, 16e6)
+    td = next(c for c in costs if c.direction == "topdown")
+    bu = next(c for c in costs if c.direction == "bottomup")
+    assert bu.overhead_seconds > td.overhead_seconds  # sub-round epochs
+
+
+def test_crashing_configuration_rejected():
+    with pytest.raises(ConfigError):
+        model.level_costs(16_384, 16e6, "direct-mpe")
+
+
+def test_custom_profile_validation():
+    with pytest.raises(ConfigError):
+        LevelModel(shares=(0.5, 0.4), directions=("topdown",))
+    with pytest.raises(ConfigError):
+        LevelModel(shares=(0.5, 0.4), directions=("topdown", "topdown"))
+
+
+def test_level_cost_properties():
+    c = LevelCost(1, "topdown", 0.1, data_seconds=1.0, overhead_seconds=2.0)
+    assert c.seconds == 3.0
+    assert c.latency_bound

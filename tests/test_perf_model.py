@@ -1,0 +1,175 @@
+"""Analytic cost-model tests: every Figure 11/12 shape claim as an assertion."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import CostModel, PerfParams, ScalingModel, TABLE2_PUBLISHED
+from repro.perf.scaling import (
+    FIG11_NODE_COUNTS,
+    FIG12_VERTICES_PER_NODE,
+    PAPER_HEADLINE_GTEPS,
+)
+
+model = ScalingModel()
+
+
+# ----------------------------------------------------------------- headline --
+def test_headline_within_20_percent_of_paper():
+    h = model.headline()
+    assert h.ok
+    assert abs(h.gteps - PAPER_HEADLINE_GTEPS) / PAPER_HEADLINE_GTEPS < 0.20
+
+
+def test_headline_breakdown_sums_to_total():
+    h = model.headline()
+    b = h.breakdown
+    expected = (
+        max(b["compute"], b["inject"], b["central"])
+        + b["messages"] + b["sync"] + b["straggle"] + b["allgather"]
+    )
+    assert h.total_seconds == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------- figure 11 --
+def test_fig11_direct_cpe_crashes_past_256_nodes():
+    series = model.fig11_series("direct-cpe")
+    by_nodes = {p.nodes: p for p in series}
+    assert by_nodes[64].ok and by_nodes[256].ok
+    assert by_nodes[1024].crashed == "spm-overflow"
+    assert by_nodes[40768].crashed == "spm-overflow"
+
+
+def test_fig11_direct_mpe_crashes_at_16384_nodes():
+    series = model.fig11_series("direct-mpe")
+    by_nodes = {p.nodes: p for p in series}
+    assert by_nodes[4096].ok
+    assert by_nodes[16384].crashed == "connection-memory"
+    assert by_nodes[16384].gteps == 0.0
+    assert not math.isfinite(by_nodes[16384].total_seconds)
+
+
+def test_fig11_relay_variants_survive_the_full_machine():
+    for variant in ("relay-cpe", "relay-mpe"):
+        assert all(p.ok for p in model.fig11_series(variant))
+
+
+def test_fig11_cpe_is_roughly_ten_times_mpe():
+    """"Properly used CPE clusters can improve performance by a factor of 10"."""
+    for nodes in FIG11_NODE_COUNTS:
+        cpe = model.fig11_point("relay-cpe", nodes)
+        mpe = model.fig11_point("relay-mpe", nodes)
+        assert 5 < cpe.gteps / mpe.gteps < 20
+
+
+def test_fig11_direct_cpe_beats_relay_cpe_at_small_scale():
+    """"The shuffling ... has a better performance for up to 256 nodes"."""
+    for nodes in (64, 256):
+        direct = model.fig11_point("direct-cpe", nodes)
+        relay = model.fig11_point("relay-cpe", nodes)
+        assert direct.gteps >= relay.gteps
+
+
+def test_fig11_relay_cpe_scales_monotonically():
+    series = model.fig11_series("relay-cpe")
+    gteps = [p.gteps for p in series]
+    assert all(b > a for a, b in zip(gteps, gteps[1:]))
+
+
+# ----------------------------------------------------------------- figure 12 --
+def test_fig12_weak_scaling_is_near_linear():
+    for vpn in FIG12_VERTICES_PER_NODE:
+        series = model.fig12_series(vpn)
+        first, last = series[0], series[-1]
+        node_ratio = last.nodes / first.nodes
+        gteps_ratio = last.gteps / first.gteps
+        # Within ~4x of perfectly linear over ~500x more nodes.
+        assert gteps_ratio > node_ratio / 4.5
+        gteps = [p.gteps for p in series]
+        assert all(b > a for a, b in zip(gteps, gteps[1:]))
+
+
+def test_fig12_larger_per_node_sizes_win_at_full_machine():
+    """"the result of 26.2M is nearly four times that of 6.5M, with the same
+    gap between 6.5M and 1.6M"."""
+    full = {vpn: model.fig12_series(vpn)[-1].gteps for vpn in FIG12_VERTICES_PER_NODE}
+    ratio_small = full[6.5e6] / full[1.6e6]
+    ratio_large = full[26.2e6] / full[6.5e6]
+    assert 2.0 < ratio_small < 5.0
+    assert 2.0 < ratio_large < 5.0
+
+
+def test_fig12_lines_share_a_similar_starting_point():
+    """"the lines share a similar starting point" (within ~an order)."""
+    starts = [model.fig12_series(vpn)[0].gteps for vpn in FIG12_VERTICES_PER_NODE]
+    assert max(starts) / min(starts) < 12
+
+
+# ------------------------------------------------------------------- table 2 --
+def test_table2_contains_the_published_rows():
+    assert len(TABLE2_PUBLISHED) == 8
+    by_author = {r.authors: r for r in TABLE2_PUBLISHED}
+    assert by_author["Present Work"].gteps == PAPER_HEADLINE_GTEPS
+    assert by_author["K Computer"].gteps == 38_621.4
+    assert by_author["Checconi"].scale == 40
+
+
+def test_reproduced_number_is_best_heterogeneous():
+    """The paper's claim: best among heterogeneous machines, second overall."""
+    ours = model.headline().gteps
+    hetero = [r.gteps for r in TABLE2_PUBLISHED
+              if r.heterogeneous and r.authors != "Present Work"]
+    assert all(ours > g for g in hetero)
+    better = [r for r in TABLE2_PUBLISHED
+              if r.authors != "Present Work" and r.gteps > ours]
+    assert [r.authors for r in better] == ["K Computer"]
+
+
+def test_table2_rows_attach_our_number():
+    rows = model.table2_rows()
+    ours = [measured for row, measured in rows if row.authors == "Present Work"]
+    assert ours[0] == pytest.approx(model.headline().gteps)
+    assert all(m is None for row, m in rows if row.authors != "Present Work")
+
+
+# ------------------------------------------------------------------ mechanics --
+def test_ablation_hooks_change_fractions():
+    cost = CostModel()
+    base = cost.evaluate(1024, 16e6, "relay-cpe")
+    from repro.core import BFSConfig
+
+    no_hubs = cost.evaluate(
+        1024, 16e6, BFSConfig(use_hub_prefetch=False)
+    )
+    plain = cost.evaluate(
+        1024, 16e6,
+        BFSConfig(direction_optimizing=False, use_hub_prefetch=False),
+    )
+    assert base.gteps > no_hubs.gteps > plain.gteps
+
+
+def test_single_node_has_no_network_terms():
+    p = CostModel().evaluate(1, 1e6, "relay-cpe")
+    assert p.ok
+    assert p.breakdown["inject"] == 0
+    assert p.breakdown["messages"] == 0
+    assert p.breakdown["allgather"] == 0
+
+
+def test_intra_super_node_sweep_has_no_central_term():
+    p = CostModel().evaluate(256, 16e6, "relay-cpe")
+    assert p.breakdown["central"] == 0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        CostModel().evaluate(0, 1e6)
+    with pytest.raises(ConfigError):
+        CostModel().evaluate(8, 0)
+
+
+def test_params_epochs():
+    p = PerfParams()
+    assert p.epochs == p.levels + p.bottomup_levels * (p.bottomup_subrounds - 1)
+    assert p.trunk_rate_per_super_node == pytest.approx(256 * 1.2e9 / 4)

@@ -1,0 +1,101 @@
+"""Property-based tests over the analytic cost model."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BFSConfig
+from repro.perf import CostModel
+
+cost = CostModel()
+
+node_counts = st.sampled_from([1, 2, 16, 80, 256, 1024, 4096, 40768])
+vpns = st.floats(min_value=1e4, max_value=1e8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(nodes=node_counts, vpn=vpns)
+def test_breakdown_terms_are_finite_and_nonnegative(nodes, vpn):
+    p = cost.evaluate(nodes, vpn, "relay-cpe")
+    assert p.ok
+    assert math.isfinite(p.total_seconds) and p.total_seconds > 0
+    for term, value in p.breakdown.items():
+        assert value >= 0, term
+        assert math.isfinite(value), term
+    assert p.gteps > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(vpn=vpns)
+def test_weak_scaling_monotone_in_nodes(vpn):
+    series = [cost.evaluate(n, vpn, "relay-cpe").gteps for n in (16, 256, 4096)]
+    assert series[0] < series[1] < series[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=st.sampled_from([256, 4096, 40768]))
+def test_gteps_monotone_in_data_size(nodes):
+    gteps = [cost.evaluate(nodes, vpn, "relay-cpe").gteps
+             for vpn in (1e6, 4e6, 16e6, 64e6)]
+    assert all(b > a for a, b in zip(gteps, gteps[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=node_counts, vpn=vpns)
+def test_cpe_never_loses_to_mpe(nodes, vpn):
+    cpe = cost.evaluate(nodes, vpn, "relay-cpe")
+    mpe = cost.evaluate(nodes, vpn, "relay-mpe")
+    assert cpe.gteps >= mpe.gteps
+
+
+@settings(max_examples=30, deadline=None)
+@given(vpn=vpns)
+def test_relay_always_survives_where_direct_crashes(vpn):
+    for nodes in (16384, 40768):
+        assert cost.evaluate(nodes, vpn, "relay-cpe").ok
+        assert not cost.evaluate(nodes, vpn, "direct-mpe").ok
+        assert not cost.evaluate(nodes, vpn, "direct-cpe").ok
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nodes=node_counts,
+    vpn=vpns,
+    ratio=st.floats(min_value=1.0, max_value=8.0),
+)
+def test_compression_never_hurts(nodes, vpn, ratio):
+    base = cost.evaluate(nodes, vpn, BFSConfig())
+    packed = cost.evaluate(nodes, vpn, BFSConfig(compression_ratio=ratio))
+    assert packed.total_seconds <= base.total_seconds * (1 + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=node_counts, vpn=vpns)
+def test_direction_optimization_always_helps(nodes, vpn):
+    """Direction optimisation cuts work with no extra fixed cost, so it
+    helps at every size."""
+    hybrid = cost.evaluate(nodes, vpn, BFSConfig(use_hub_prefetch=False))
+    plain = cost.evaluate(
+        nodes, vpn, BFSConfig(direction_optimizing=False, use_hub_prefetch=False)
+    )
+    assert hybrid.gteps >= plain.gteps
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=node_counts)
+def test_hub_prefetch_helps_at_paper_scale(nodes):
+    """Hub prefetch trades a per-level P-proportional bitmap allgather for
+    less record traffic: it wins at the paper's 16M+ vertices/node at every
+    node count, but is a net loss for tiny per-node data — a real
+    crossover the model exposes."""
+    for vpn in (16e6, 64e6):
+        full = cost.evaluate(nodes, vpn, BFSConfig())
+        no_hubs = cost.evaluate(nodes, vpn, BFSConfig(use_hub_prefetch=False))
+        assert full.gteps >= no_hubs.gteps
+
+
+def test_hub_allgather_crossover_at_tiny_data():
+    """The documented exception: with ~10K vertices/node, hubs lose."""
+    full = cost.evaluate(256, 1e4, BFSConfig())
+    no_hubs = cost.evaluate(256, 1e4, BFSConfig(use_hub_prefetch=False))
+    assert no_hubs.gteps > full.gteps

@@ -1,0 +1,63 @@
+"""Sensitivity-analysis tests: the reproduction's conclusions are robust."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import PerfParams
+from repro.perf.sensitivity import (
+    CALIBRATED_FIELDS,
+    perturbed_params,
+    robust_claims,
+    shape_claims,
+    sweep,
+)
+from repro.perf.scaling import ScalingModel
+
+
+def test_all_shape_claims_hold_at_defaults():
+    claims = shape_claims(ScalingModel())
+    assert all(claims.values()), claims
+
+
+def test_every_claim_survives_2x_perturbations():
+    """The headline robustness statement: no Figure 11/12 conclusion rests
+    on a fine-tuned calibrated constant."""
+    results = sweep(factors=(0.5, 2.0))
+    robust = robust_claims(results)
+    expected = set(shape_claims(ScalingModel()))
+    assert set(robust) == expected
+
+
+def test_headline_moves_with_work_fraction():
+    """Sanity: perturbations actually change the number (the sweep isn't
+    trivially flat)."""
+    low = ScalingModel(perturbed_params("work_fraction_optimized", 0.5))
+    high = ScalingModel(perturbed_params("work_fraction_optimized", 2.0))
+    assert low.headline().gteps > high.headline().gteps
+
+
+def test_mpe_rate_only_touches_mpe_variants():
+    base = ScalingModel().headline().gteps
+    perturbed = ScalingModel(perturbed_params("mpe_node_rate", 2.0))
+    assert perturbed.headline().gteps == pytest.approx(base)
+    assert (
+        perturbed.fig11_point("relay-mpe", 4096).gteps
+        > ScalingModel().fig11_point("relay-mpe", 4096).gteps
+    )
+
+
+def test_perturbed_params_mechanics():
+    p = perturbed_params("imbalance", 2.0)
+    assert p.imbalance == pytest.approx(2 * PerfParams().imbalance)
+    with pytest.raises(ConfigError):
+        perturbed_params("not_a_field", 2.0)
+    with pytest.raises(ConfigError):
+        perturbed_params("imbalance", 0.0)
+
+
+def test_calibrated_field_list_matches_params():
+    names = {f for f in CALIBRATED_FIELDS}
+    from dataclasses import fields
+
+    actual = {f.name for f in fields(PerfParams)}
+    assert names <= actual

@@ -1,0 +1,44 @@
+"""Strong-scaling extension + CLI subcommand tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.perf import ScalingModel
+
+model = ScalingModel()
+
+
+def test_strong_scaling_speedup_then_rolloff():
+    points = model.strong_scaling(scale=36)
+    gteps = [p.gteps for p in points]
+    # Initial speedup...
+    assert gteps[1] > 2 * gteps[0]
+    # ...but efficiency collapses: far from ideal at the full machine.
+    ideal = points[-1].nodes / points[0].nodes
+    assert gteps[-1] / gteps[0] < ideal / 5
+    # And the curve actually rolls off (a maximum before the last point).
+    assert max(gteps) > gteps[-1]
+
+
+def test_strong_scaling_conserves_total_problem():
+    points = model.strong_scaling(scale=30, node_counts=(16, 64, 256))
+    for p in points:
+        assert p.nodes * p.vertices_per_node == pytest.approx(1 << 30)
+
+
+def test_strong_scaling_skips_degenerate_splits():
+    points = model.strong_scaling(scale=10, node_counts=(256, 1 << 11))
+    assert all(p.vertices_per_node >= 1 for p in points)
+
+
+def test_cli_strong(capsys):
+    assert main(["strong", "--scale", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "Strong scaling" in out
+    assert "40768" in out
+
+
+def test_cli_fullbench(capsys):
+    assert main(["fullbench", "--roots", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out and "total" in out

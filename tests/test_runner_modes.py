@@ -1,0 +1,85 @@
+"""Graph500Runner validation-mode and result-serialisation tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Graph500Runner
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, KroneckerGenerator
+
+CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+
+
+def test_distributed_validation_mode_records_its_cost():
+    report = Graph500Runner(
+        scale=8, nodes=4, config=CFG, nodes_per_super_node=2,
+        validate="distributed",
+    ).run(num_roots=2)
+    assert report.all_validated  # no sequential failures recorded
+    assert report.extra["validation_seconds"] > 0
+
+
+def test_validation_can_be_disabled():
+    report = Graph500Runner(
+        scale=8, nodes=2, config=CFG, nodes_per_super_node=2, validate=False
+    ).run(num_roots=2)
+    assert len(report.runs) == 2
+    assert "validation_seconds" not in report.extra
+
+
+def test_bool_validate_back_compat():
+    r = Graph500Runner(scale=8, nodes=2, config=CFG, validate=True)
+    assert r.validate == "sequential"
+    r = Graph500Runner(scale=8, nodes=2, config=CFG, validate=False)
+    assert r.validate == "none"
+    with pytest.raises(ConfigError):
+        Graph500Runner(scale=8, nodes=2, validate="bogus")
+
+
+def test_distributed_and_sequential_agree_on_gteps():
+    kw = dict(scale=8, nodes=4, seed=5, config=CFG, nodes_per_super_node=2)
+    seq = Graph500Runner(**kw, validate="sequential").run(num_roots=2)
+    dist = Graph500Runner(**kw, validate="distributed").run(num_roots=2)
+    assert seq.gteps == pytest.approx(dist.gteps)
+
+
+def test_bfs_result_to_json_roundtrips():
+    edges = KroneckerGenerator(scale=9, seed=7).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(edges, 4, config=CFG, nodes_per_super_node=2)
+    result = bfs.run(root)
+    blob = json.loads(result.to_json())
+    assert blob["root"] == root
+    assert blob["levels"] == result.levels
+    assert blob["reached"] == int((result.parent >= 0).sum())
+    assert len(blob["traces"]) == result.levels
+    assert blob["traces"][0]["frontier_vertices"] == 1
+    assert blob["stats"]["records_sent"] == result.stats["records_sent"]
+
+
+def test_benchmark_report_to_json():
+    report = Graph500Runner(
+        scale=8, nodes=2, config=CFG, nodes_per_super_node=2
+    ).run(num_roots=2)
+    blob = json.loads(report.to_json())
+    assert blob["scale"] == 8
+    assert blob["variant"] == "relay-cpe"
+    assert blob["all_validated"] is True
+    assert len(blob["runs"]) == 2
+    assert blob["gteps_harmonic_mean"] == pytest.approx(report.gteps)
+
+
+def test_cli_reproduce_writes_artifacts(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "pack"
+    assert main(["reproduce", "--out", str(out)]) == 0
+    written = sorted(p.name for p in out.iterdir())
+    assert "fig11.txt" in written
+    assert "table2.txt" in written
+    assert "full_benchmark.txt" in written
+    assert "23,755.7" in (out / "fig12.txt").read_text()

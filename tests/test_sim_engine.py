@@ -1,0 +1,113 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_call_after_executes_in_time_order():
+    eng = Engine()
+    seen = []
+    eng.call_after(2.0, seen.append, "b")
+    eng.call_after(1.0, seen.append, "a")
+    eng.call_after(3.0, seen.append, "c")
+    eng.run()
+    assert seen == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_ties_break_in_scheduling_order():
+    eng = Engine()
+    seen = []
+    for name in "abcde":
+        eng.call_at(1.0, seen.append, name)
+    eng.run()
+    assert seen == list("abcde")
+
+
+def test_callbacks_can_schedule_more_events():
+    eng = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            eng.call_after(1.0, chain, n + 1)
+
+    eng.call_after(0.0, chain, 0)
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert eng.now == 5.0
+
+
+def test_scheduling_in_the_past_is_an_error():
+    eng = Engine()
+    eng.call_after(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_is_an_error():
+    with pytest.raises(SimulationError):
+        Engine().call_after(-1.0, lambda: None)
+
+
+def test_run_until_bounds_time():
+    eng = Engine()
+    seen = []
+    eng.call_at(1.0, seen.append, 1)
+    eng.call_at(2.0, seen.append, 2)
+    eng.run(until=1.5)
+    assert seen == [1]
+    assert eng.now == 1.5
+    assert len(eng) == 1
+    eng.run()
+    assert seen == [1, 2]
+
+
+def test_run_until_advances_clock_even_without_events():
+    eng = Engine()
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+
+
+def test_max_events_bound():
+    eng = Engine()
+    for i in range(10):
+        eng.call_at(float(i), lambda: None)
+    eng.run(max_events=3)
+    assert eng.events_executed == 3
+    assert len(eng) == 7
+
+
+def test_run_until_quiescent_raises_on_runaway():
+    eng = Engine()
+
+    def forever():
+        eng.call_after(1.0, forever)
+
+    eng.call_after(0.0, forever)
+    with pytest.raises(SimulationError):
+        eng.run_until_quiescent(max_events=100)
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_events_always_execute_in_nondecreasing_time(delays):
+    eng = Engine()
+    times = []
+    for d in delays:
+        eng.call_at(d, lambda: times.append(eng.now))
+    eng.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)

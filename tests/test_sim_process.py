@@ -1,0 +1,120 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, Process, Timeout
+
+
+def test_timeout_advances_simulated_time():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield Timeout(1.5)
+        log.append(eng.now)
+        yield Timeout(2.5)
+        log.append(eng.now)
+
+    Process(eng, proc())
+    eng.run()
+    assert log == [1.5, 4.0]
+
+
+def test_process_return_value_is_its_result():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = Process(eng, proc())
+    eng.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_waiting_on_an_event_receives_its_value():
+    eng = Engine()
+    ev = Event(eng)
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((eng.now, value))
+
+    Process(eng, waiter())
+    eng.call_after(3.0, ev.succeed, "ready")
+    eng.run()
+    assert got == [(3.0, "ready")]
+
+
+def test_waiting_on_already_fired_event_resumes_immediately():
+    eng = Engine()
+    ev = Event(eng)
+    ev.succeed("early")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    Process(eng, waiter())
+    eng.run()
+    assert got == ["early"]
+
+
+def test_event_cannot_fire_twice():
+    eng = Engine()
+    ev = Event(eng)
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_process_can_wait_on_another_process():
+    eng = Engine()
+
+    def child():
+        yield Timeout(2.0)
+        return "done"
+
+    def parent():
+        result = yield Process(eng, child(), name="child")
+        return (eng.now, result)
+
+    p = Process(eng, parent())
+    eng.run()
+    assert p.result == (2.0, "done")
+
+
+def test_multiple_waiters_all_resume():
+    eng = Engine()
+    ev = Event(eng)
+    woke = []
+
+    def waiter(i):
+        yield ev
+        woke.append(i)
+
+    for i in range(3):
+        Process(eng, waiter(i))
+    eng.call_after(1.0, ev.succeed)
+    eng.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_yielding_garbage_is_an_error():
+    eng = Engine()
+
+    def bad():
+        yield 123
+
+    Process(eng, bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_non_generator_rejected():
+    with pytest.raises(SimulationError):
+        Process(Engine(), lambda: None)  # type: ignore[arg-type]

@@ -1,0 +1,129 @@
+"""Utility tests: units, tables, logging, rng substreams, trace export."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.sim import Server
+from repro.sim.rng import substream
+from repro.utils import Table, fmt_bytes, fmt_count, fmt_rate, fmt_time
+from repro.utils.logging import enable_logging, get_logger
+from repro.utils.trace import collect_intervals, enable_tracing, to_chrome_trace
+from repro.utils.units import gteps
+
+
+# ---------------------------------------------------------------------- units --
+def test_fmt_bytes():
+    assert fmt_bytes(640) == "640 B"
+    assert fmt_bytes(2048) == "2.0 KiB"
+    assert fmt_bytes(3 * (1 << 20)) == "3.0 MiB"
+    assert fmt_bytes(5 * (1 << 30)) == "5.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(2.5) == "2.5 s"
+    assert fmt_time(3.2e-3) == "3.2 ms"
+    assert fmt_time(4.5e-6) == "4.5 us"
+    assert fmt_time(7e-9) == "7 ns"
+
+
+def test_fmt_rate():
+    assert fmt_rate(28.9e9) == "28.9 GB/s"
+    assert fmt_rate(1.5e6) == "1.5 MB/s"
+    assert fmt_rate(2e3) == "2 KB/s"
+    assert fmt_rate(5) == "5 B/s"
+
+
+def test_fmt_count():
+    assert fmt_count(26.2e6) == "26.2M"
+    assert fmt_count(1.5e9) == "1.5G"
+    assert fmt_count(2000) == "2K"
+    assert fmt_count(12) == "12"
+
+
+def test_gteps_helper():
+    assert gteps(2e9, 2.0) == 1.0
+    with pytest.raises(ValueError):
+        gteps(1, 0.0)
+
+
+# --------------------------------------------------------------------- tables --
+def test_table_renders_aligned():
+    t = Table(["a", "long-header"], title="T")
+    t.add_row([1, "x"])
+    t.add_row([22, 3.14159])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert "3.142" in out  # float formatting
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # every row equally wide
+
+
+def test_table_rejects_ragged_rows():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+# -------------------------------------------------------------------- logging --
+def test_get_logger_namespacing():
+    assert get_logger("core").name == "repro.core"
+
+
+def test_enable_logging_idempotent():
+    enable_logging(logging.DEBUG)
+    n = len(logging.getLogger("repro").handlers)
+    enable_logging(logging.DEBUG)
+    assert len(logging.getLogger("repro").handlers) == n
+
+
+# ------------------------------------------------------------------------ rng --
+def test_substream_determinism_and_independence():
+    a1 = substream(42, "kronecker", 10).random(5)
+    a2 = substream(42, "kronecker", 10).random(5)
+    b = substream(42, "kronecker", 11).random(5)
+    c = substream(43, "kronecker", 10).random(5)
+    assert np.array_equal(a1, a2)
+    assert not np.array_equal(a1, b)
+    assert not np.array_equal(a1, c)
+
+
+def test_substream_name_path_matters():
+    x = substream(1, "a", "b").random(3)
+    y = substream(1, "ab").random(3)
+    assert not np.array_equal(x, y)
+
+
+# ---------------------------------------------------------------------- trace --
+def test_trace_records_and_exports():
+    s = Server("node0.C0")
+    enable_tracing([s])
+    s.admit(0.0, 1.0)
+    s.admit(0.5, 2.0)
+    intervals = collect_intervals([s])
+    assert intervals["node0.C0"] == [(0.0, 1.0), (1.0, 3.0)]
+    blob = to_chrome_trace(intervals)
+    events = json.loads(blob)["traceEvents"]
+    assert len(events) == 2
+    assert events[0]["pid"] == "node0"
+    assert events[0]["tid"] == "C0"
+    assert events[1]["ts"] == pytest.approx(1e6)
+    assert events[1]["dur"] == pytest.approx(2e6)
+
+
+def test_trace_enable_is_idempotent():
+    s = Server("x")
+    enable_tracing([s])
+    s.admit(0.0, 1.0)
+    enable_tracing([s])
+    assert len(collect_intervals([s])["x"]) == 1
+
+
+def test_untraced_server_excluded():
+    s = Server("quiet")
+    s.admit(0.0, 1.0)
+    assert collect_intervals([s]) == {}
