@@ -7,7 +7,6 @@ payloads, measured functionally and priced at full-machine scale.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import BFSConfig, DistributedBFS
 from repro.graph import CSRGraph, KroneckerGenerator

@@ -10,7 +10,6 @@ Two layers, as in DESIGN.md:
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import make_variant
 from repro.core import BFSConfig

@@ -1,0 +1,100 @@
+"""Resilience overhead: what reliability costs on a fault-free machine.
+
+The paper's runs assume a perfect interconnect; the resilience layer buys
+fault tolerance with protocol overhead. This benchmark quantifies it:
+simulated time and message volume for (1) the bare kernel, (2) the
+reliable transport (per-message acks), (3) checkpointing every level, and
+(4) the full stack riding out an actual mid-traversal node crash.
+"""
+
+import numpy as np
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.resilience import ResilienceConfig
+from repro.sim.faults import NodeFaultInjector, NodeFaultPlan
+from repro.utils.tables import Table
+from repro.utils.units import fmt_count, fmt_time
+
+SCALE = 13
+NODES = 8
+CFG = BFSConfig(hub_count_topdown=64, hub_count_bottomup=64)
+
+MODES = {
+    "baseline": dict(resilience=None, crash=False),
+    "reliable": dict(
+        resilience=ResilienceConfig(reliable_transport=True), crash=False
+    ),
+    "reliable+ckpt": dict(
+        resilience=ResilienceConfig(
+            reliable_transport=True, checkpoint_interval=1
+        ),
+        crash=False,
+    ),
+    "reliable+ckpt+crash": dict(
+        resilience=ResilienceConfig(
+            reliable_transport=True, checkpoint_interval=1
+        ),
+        crash=True,
+    ),
+}
+
+
+def run_modes():
+    edges = KroneckerGenerator(scale=SCALE, seed=83).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    out = {}
+    for name, mode in MODES.items():
+        bfs = DistributedBFS(
+            edges, NODES, config=CFG, nodes_per_super_node=4,
+            resilience=mode["resilience"],
+        )
+        if mode["crash"]:
+            NodeFaultInjector(
+                bfs.cluster, NodeFaultPlan(crash_at={NODES // 2: 2e-4})
+            )
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        out[name] = result
+    return out
+
+
+def render(out) -> str:
+    base = out["baseline"]
+    t = Table(
+        ["mode", "sim time", "overhead", "messages", "ckpt time", "recoveries"],
+        title=f"Resilience overhead: scale-{SCALE} Kronecker, {NODES} nodes",
+    )
+    for name, result in out.items():
+        overhead = result.sim_seconds / base.sim_seconds - 1.0
+        t.add_row([
+            name,
+            fmt_time(result.sim_seconds),
+            f"{overhead:+.1%}",
+            fmt_count(int(result.stats["messages"])),
+            fmt_time(result.stats.get("checkpoint_seconds", 0.0)),
+            int(result.stats.get("recoveries", 0)),
+        ])
+    return t.render()
+
+
+def test_resilience_overhead(benchmark, save_report):
+    out = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    save_report("resilience_overhead", render(out))
+    base, reliable = out["baseline"], out["reliable"]
+    ckpt, crash = out["reliable+ckpt"], out["reliable+ckpt+crash"]
+    # Every mode computes the identical tree.
+    for result in out.values():
+        assert np.array_equal(result.depths(), base.depths())
+    # Acks double the message count but cost no simulated makespan on a
+    # loss-free wire (they never gate a compute stage).
+    assert reliable.stats["messages"] > 1.9 * base.stats["messages"]
+    assert reliable.sim_seconds <= base.sim_seconds * 1.01
+    # Checkpoints charge real (bounded) time...
+    assert ckpt.stats["checkpoints"] >= 1
+    assert 0 < ckpt.stats["checkpoint_seconds"] < base.sim_seconds
+    # ...and buy recovery: the crash run replays levels instead of dying.
+    assert crash.stats["recoveries"] == 1
+    assert crash.sim_seconds > ckpt.sim_seconds

@@ -45,7 +45,6 @@ def main() -> None:
     # 1. Communities.
     wcc = DistributedWCC(edges, NODES, **KW).run()
     labels, counts = np.unique(wcc.labels, return_counts=True)
-    giant = int(labels[np.argmax(counts)])
     print(
         f"[WCC]      {wcc.num_components()} components in "
         f"{wcc.supersteps} supersteps ({fmt_time(wcc.sim_seconds)} simulated); "

@@ -51,7 +51,7 @@ def main() -> None:
 
     saved = 1 - r1.stats["records_sent"] / r2.stats["records_sent"]
     print(
-        f"Direction optimisation + hub prefetch avoided "
+        "Direction optimisation + hub prefetch avoided "
         f"{100 * saved:.0f}% of the records the textbook traversal shuffles."
     )
 

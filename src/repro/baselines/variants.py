@@ -43,6 +43,7 @@ def make_variant(
     config: BFSConfig | None = None,
     spec: MachineSpec = TAIHULIGHT,
     nodes_per_super_node: int | None = None,
+    resilience=None,
 ) -> DistributedBFS:
     """Instantiate a named variant over ``edges`` on ``nodes`` simulated nodes."""
     return DistributedBFS(
@@ -51,4 +52,5 @@ def make_variant(
         config=variant_config(name, config),
         spec=spec,
         nodes_per_super_node=nodes_per_super_node,
+        resilience=resilience,
     )

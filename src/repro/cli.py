@@ -17,21 +17,74 @@ import sys
 from repro.utils.tables import Table
 
 
+def _build_resilience(args: argparse.Namespace):
+    """Fault/resilience knobs -> (resilience, fault_plan, node_faults)."""
+    from repro.errors import ConfigError
+    from repro.resilience.config import ResilienceConfig
+    from repro.sim.faults import NodeFaultPlan, RandomFaultPlan
+
+    resilience = None
+    if args.reliable or args.checkpoint_interval > 0:
+        resilience = ResilienceConfig(
+            reliable_transport=args.reliable,
+            ack_timeout=args.ack_timeout,
+            max_retries=args.max_retries,
+            seed=args.fault_seed,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    fault_plan = RandomFaultPlan(
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        delay_seconds=args.delay_seconds,
+        corrupt_rate=args.corrupt_rate,
+        seed=args.fault_seed,
+    )
+    if not fault_plan.any_faults:
+        fault_plan = None
+    node_faults = None
+    crash_at = (
+        {args.crash_node: args.crash_at} if args.crash_node is not None else {}
+    )
+    stragglers = {}
+    for spec in args.straggler or []:
+        rank, _, factor = spec.partition(":")
+        try:
+            stragglers[int(rank)] = float(factor or 2.0)
+        except ValueError:
+            raise ConfigError(
+                f"bad --straggler {spec!r}: expected RANK[:FACTOR]"
+            ) from None
+    if crash_at or stragglers:
+        node_faults = NodeFaultPlan(crash_at=crash_at, stragglers=stragglers)
+    return resilience, fault_plan, node_faults
+
+
 def _cmd_graph500(args: argparse.Namespace) -> int:
     from repro.graph500.runner import Graph500Runner
 
+    resilience, fault_plan, node_faults = _build_resilience(args)
     runner = Graph500Runner(
         scale=args.scale,
         nodes=args.nodes,
         seed=args.seed,
         variant=args.variant,
         nodes_per_super_node=args.super_node,
+        resilience=resilience,
+        fault_plan=fault_plan,
+        node_faults=node_faults,
+        on_root_failure=args.on_root_failure,
     )
     report = runner.run(num_roots=args.roots)
     print(report.summary())
     if args.per_root:
         print()
         print(report.per_root_table())
+    if report.extra:
+        print()
+        print("resilience/fault counters:")
+        for key, value in sorted(report.extra.items()):
+            print(f"  {key}: {value:,.0f}")
     return 0 if report.all_validated else 1
 
 
@@ -70,7 +123,7 @@ def _cmd_fig12(args: argparse.Namespace) -> int:
     print(t.render())
     h = model.headline()
     print(f"\nheadline (scale 40, 40,768 nodes): {h.gteps:,.1f} GTEPS "
-          f"(paper: 23,755.7)")
+          "(paper: 23,755.7)")
     return 0
 
 
@@ -204,6 +257,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="relay-cpe")
     p.add_argument("--super-node", type=int, default=None)
     p.add_argument("--per-root", action="store_true")
+    fault = p.add_argument_group("fault injection (seeded, replayable)")
+    fault.add_argument("--drop-rate", type=float, default=0.0,
+                       help="probability a message is dropped on the wire")
+    fault.add_argument("--duplicate-rate", type=float, default=0.0,
+                       help="probability a message is delivered twice")
+    fault.add_argument("--delay-rate", type=float, default=0.0,
+                       help="probability a message is delayed")
+    fault.add_argument("--delay-seconds", type=float, default=1e-5,
+                       help="delay applied to delayed messages")
+    fault.add_argument("--corrupt-rate", type=float, default=0.0,
+                       help="probability a record payload is corrupted")
+    fault.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for fault draws and transport jitter")
+    fault.add_argument("--crash-node", type=int, default=None,
+                       help="rank to fail-stop crash")
+    fault.add_argument("--crash-at", type=float, default=1e-4,
+                       help="simulated time of the --crash-node crash")
+    fault.add_argument("--straggler", action="append", metavar="RANK[:FACTOR]",
+                       help="slow a rank's traffic by FACTOR (default 2x); "
+                            "repeatable")
+    res = p.add_argument_group("resilience")
+    res.add_argument("--reliable", action="store_true",
+                     help="enable the ack/retransmit reliable transport")
+    res.add_argument("--ack-timeout", type=float, default=2e-4)
+    res.add_argument("--max-retries", type=int, default=5)
+    res.add_argument("--checkpoint-interval", type=int, default=0,
+                     help="checkpoint every K levels (0 = off)")
+    res.add_argument("--on-root-failure", choices=["abort", "skip"],
+                     default="abort",
+                     help="skip: record a failed root and keep benchmarking")
     p.set_defaults(func=_cmd_graph500)
 
     sub.add_parser("fig11", help="modelled Figure 11 sweep").set_defaults(

@@ -27,7 +27,7 @@ from repro.core.pipeline import NodePipeline
 from repro.core.policy import Direction, TraversalPolicy
 from repro.core.runtime import NodeState
 from repro.core.shuffle import ShufflePlan
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SimulatedCrash
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import Partition1D
@@ -35,6 +35,9 @@ from repro.graph500.reference import depths_from_parents
 from repro.machine.node import SunwayNode
 from repro.machine.specs import MachineSpec, TAIHULIGHT
 from repro.network.simmpi import Message, SimCluster
+from repro.resilience.channel import ReliableChannel
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.config import ResilienceConfig
 from repro.sim.engine import Engine
 
 
@@ -115,8 +118,10 @@ class DistributedBFS:
         config: BFSConfig | None = None,
         spec: MachineSpec = TAIHULIGHT,
         nodes_per_super_node: int | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.config = config or BFSConfig()
+        self.resilience = resilience or ResilienceConfig()
         self.spec = spec
         if nodes < 1:
             raise ConfigError(f"need at least one node, got {nodes}")
@@ -204,6 +209,14 @@ class DistributedBFS:
             self.hubs = HubDirectory(self.graph, self.partition, hubs_per_node)
             self._build_hub_adjacency()
 
+        # --- resilience: reliable transport + checkpoint store -------------------
+        self.channel: ReliableChannel | None = None
+        if self.resilience.reliable_transport:
+            self.channel = ReliableChannel(self.cluster, self.resilience)
+        self.checkpoints: CheckpointStore | None = (
+            CheckpointStore() if self.resilience.checkpoint_interval > 0 else None
+        )
+
         # --- construction-time estimate (not part of TEPS) ----------------------
         self.construction_seconds = self._estimate_construction_time()
 
@@ -211,6 +224,8 @@ class DistributedBFS:
         self._t_max = 0.0
         self._records_sent = 0
         self._hub_settled = 0
+        self._recoveries = 0
+        self._checkpoint_seconds = 0.0
 
     # ------------------------------------------------------------------ setup --
     def _build_hub_adjacency(self) -> None:
@@ -323,6 +338,19 @@ class DistributedBFS:
         else:  # pragma: no cover - defensive
             raise ReproError(f"unknown message tag {msg.tag!r}")
 
+    def _cluster_send(
+        self, src: int, dst: int, tag: str, nbytes: int,
+        payload=None, at_time: float | None = None,
+    ) -> None:
+        """All driver traffic funnels through here: the reliable channel
+        when enabled, the raw cluster otherwise. ``cluster.send`` is looked
+        up dynamically so fault injectors installed after construction
+        stay on the path."""
+        if self.channel is not None:
+            self.channel.send(src, dst, tag, nbytes, payload=payload, at_time=at_time)
+        else:
+            self.cluster.send(src, dst, tag, nbytes, payload=payload, at_time=at_time)
+
     def _message_bytes(self, n_records: int) -> int:
         payload = n_records * self.config.record_bytes / self.config.compression_ratio
         return self.config.header_bytes + int(payload)
@@ -359,7 +387,7 @@ class DistributedBFS:
             ready = execution.ready_fraction((k + 1) / n_buckets)
             send_at = state.pipeline.submit_send(ready, nbytes)
             self._mark(send_at)
-            self.cluster.send(
+            self._cluster_send(
                 state.node_id, dest, tag, nbytes,
                 payload=(u[a:b], v[a:b]), at_time=send_at,
             )
@@ -469,7 +497,7 @@ class DistributedBFS:
         for peer in peers:
             send_at = state.pipeline.submit_send(t_ready, nbytes)
             self._mark(send_at)
-            self.cluster.send(state.node_id, peer, "eol", nbytes, at_time=send_at)
+            self._cluster_send(state.node_id, peer, "eol", nbytes, at_time=send_at)
 
     # -------------------------------------------------------------- collectives --
     def _allreduce_time(self) -> float:
@@ -565,6 +593,9 @@ class DistributedBFS:
                 if subrounds == 1:
                     self._send_termination_markers(state, execution.finish)
             self.engine.run_until_quiescent()
+            # Ack/retransmit deliveries may outrun the marked compute times;
+            # fold the drained clock in before scheduling the next sub-round.
+            self._mark(self.engine.now)
             if not any_sent:
                 break
             # Quick settled-check between sub-rounds: a small allreduce.
@@ -576,12 +607,90 @@ class DistributedBFS:
                 break
         return subrounds
 
+    # ------------------------------------------------------ checkpoint/recovery --
+    def _checkpoint_transfer_seconds(self, nbytes: int) -> float:
+        """Shipping one node's snapshot to its buddy node over the NIC."""
+        t = self.spec.taihulight
+        return nbytes / t.nic_effective_bandwidth + t.message_overhead
+
+    def _take_checkpoint(self, level: int) -> None:
+        """Snapshot the level barrier into the store and charge its cost:
+        every node writes to buddy memory in parallel, plus a barrier."""
+        assert self.checkpoints is not None
+        ckpt = Checkpoint(
+            level=level,
+            snapshots=tuple(s.snapshot() for s in self.states),
+            hub_frontier=(
+                self.hubs.frontier.copy() if self.hubs is not None else None
+            ),
+            hub_visited=(
+                self.hubs.visited.copy() if self.hubs is not None else None
+            ),
+            policy_state=self.policy.state,
+        )
+        self.checkpoints.save(ckpt)
+        cost = (
+            self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
+            + self._allreduce_time()
+        )
+        self._checkpoint_seconds += cost
+        self._mark(self._t_max + cost)
+        self.cluster.stats.counter("checkpoints").add()
+
+    def _recover_or_raise(self, dead: frozenset[int]) -> int:
+        """Restore the last checkpoint after a crash; returns its level.
+
+        The crashed ranks are revived (a replacement node adopting the
+        rank), then *every* node rewinds to the checkpointed barrier —
+        the only globally consistent state — and the driver re-runs the
+        lost levels. Raises :class:`SimulatedCrash` when there is nothing
+        to recover from.
+        """
+        if self.checkpoints is None or self.checkpoints.last is None:
+            raise SimulatedCrash(
+                f"node(s) {sorted(dead)} crashed with no checkpoint to "
+                "recover from",
+                node=min(dead),
+            )
+        self._recoveries += 1
+        if self._recoveries > self.resilience.max_recoveries:
+            raise SimulatedCrash(
+                f"recovery limit ({self.resilience.max_recoveries}) exceeded",
+                node=min(dead),
+            )
+        ckpt = self.checkpoints.restore()
+        for rank in sorted(dead):
+            self.cluster.revive(rank, self._make_handler(self.states[rank]))
+        for state, snap in zip(self.states, ckpt.snapshots):
+            state.restore(snap)
+        if self.hubs is not None:
+            self.hubs.frontier = ckpt.hub_frontier.copy()
+            self.hubs.visited = ckpt.hub_visited.copy()
+        self.policy.restore(ckpt.policy_state)
+        # Cost: detecting the failure (a timed-out barrier), re-fetching
+        # the snapshot from buddy memory in parallel, and two barriers to
+        # agree on the rewind.
+        cost = (
+            self.resilience.ack_timeout
+            + self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
+            + 2 * self._allreduce_time()
+        )
+        self._mark(self._t_max + cost)
+        self.cluster.stats.counter("recoveries").add()
+        return ckpt.level
+
     # --------------------------------------------------------------------- run --
     def run(self, root: int) -> BFSResult:
         """Traverse from ``root``; returns the validated-shape result."""
         n = self.graph.num_vertices
         if not 0 <= root < n:
             raise ConfigError(f"root {root} out of range")
+        # Ranks that died during a previous root come back as replacement
+        # nodes; their state is rebuilt by the reset below.
+        for rank in sorted(self.cluster.dead_ranks()):
+            self.cluster.revive(rank, self._make_handler(self.states[rank]))
+        if self.channel is not None:
+            self.channel.reset_run()
         for state in self.states:
             state.reset()
         if self.hubs is not None:
@@ -592,13 +701,27 @@ class DistributedBFS:
 
         msgs_before = self.cluster.stats.value("messages")
         bytes_before = self.cluster.stats.value("bytes")
+        resilience_keys = (
+            "retransmits", "acks", "gave_up", "dup_suppressed",
+            "corrupt_detected", "dead_letters",
+        )
+        resilience_before = {
+            k: self.cluster.stats.value(k) for k in resilience_keys
+        }
         # Start after every leftover job from a previous root has drained so
         # per-root durations never overlap.
         t_run_start = max(self.engine.now, self._t_max)
         self._t_max = t_run_start
         self._records_sent = 0
         self._hub_settled = 0
+        self._recoveries = 0
+        self._checkpoint_seconds = 0.0
         traces: list[LevelTrace] = []
+        if self.resilience.checkpoint_interval > 0:
+            # Fresh store per root; the level-0 checkpoint makes any crash
+            # recoverable without replaying from an earlier root's state.
+            self.checkpoints = CheckpointStore()
+            self._take_checkpoint(0)
 
         level = 0
         while level < self.config.max_levels:
@@ -651,6 +774,18 @@ class DistributedBFS:
                 )
             )
 
+            # The barrier is also the failure-detection point: a crash event
+            # may have fired (and advanced the engine clock) mid-drain.
+            self._mark(self.engine.now)
+            dead = self.cluster.dead_ranks()
+            if dead:
+                # The dead ranks missed records this level (dead letters),
+                # so their partial state — and any "frontier empty" signal —
+                # is untrustworthy. Rewind everyone to the last checkpoint
+                # and re-run the lost levels.
+                level = self._recover_or_raise(dead)
+                continue
+
             # Level barrier: promote next -> curr; terminate on empty global
             # frontier (one more allreduce, folded into the next level's
             # control charge or the final mark).
@@ -658,28 +793,48 @@ class DistributedBFS:
             if new_frontier == 0:
                 self._mark(self._t_max + self._allreduce_time())
                 break
+            if (
+                self.checkpoints is not None
+                and level % self.resilience.checkpoint_interval == 0
+            ):
+                self._take_checkpoint(level)
         else:
             raise ReproError(f"BFS exceeded {self.config.max_levels} levels")
 
         parent = np.concatenate([s.parent for s in self.states])
         sim_seconds = self._t_max - t_run_start
+        stats = {
+            "records_sent": float(self._records_sent),
+            "messages": self.cluster.stats.value("messages") - msgs_before,
+            "bytes": self.cluster.stats.value("bytes") - bytes_before,
+            "hub_settled": float(self._hub_settled),
+            "td_levels": float(
+                sum(1 for t in traces if t.direction == "topdown")
+            ),
+            "bu_levels": float(
+                sum(1 for t in traces if t.direction == "bottomup")
+            ),
+        }
+        if self.channel is not None or self.checkpoints is not None:
+            stats.update(
+                {
+                    k: self.cluster.stats.value(k) - resilience_before[k]
+                    for k in resilience_keys
+                }
+            )
+            stats["recoveries"] = float(self._recoveries)
+            stats["checkpoints"] = float(
+                self.checkpoints.taken if self.checkpoints is not None else 0
+            )
+            stats["checkpoint_seconds"] = self._checkpoint_seconds
         result = BFSResult(
             root=root,
             parent=parent,
-            levels=len(traces),
+            # After a recovery, traces also hold the replayed levels; the
+            # traversal's own depth is the final pass's level count.
+            levels=level,
             sim_seconds=max(sim_seconds, 1e-12),
             traces=traces,
-            stats={
-                "records_sent": float(self._records_sent),
-                "messages": self.cluster.stats.value("messages") - msgs_before,
-                "bytes": self.cluster.stats.value("bytes") - bytes_before,
-                "hub_settled": float(self._hub_settled),
-                "td_levels": float(
-                    sum(1 for t in traces if t.direction == "topdown")
-                ),
-                "bu_levels": float(
-                    sum(1 for t in traces if t.direction == "bottomup")
-                ),
-            },
+            stats=stats,
         )
         return result

@@ -38,7 +38,7 @@ class RoleLayout:
             )
         if self.producer_cols + self.router_cols + self.consumer_cols != self.mesh_cols:
             raise ConfigError(
-                f"role columns must cover the mesh: "
+                "role columns must cover the mesh: "
                 f"{self.producer_cols}+{self.router_cols}+{self.consumer_cols} "
                 f"!= {self.mesh_cols}"
             )

@@ -38,6 +38,12 @@ class TraversalPolicy:
     def reset(self) -> None:
         self._state = Direction.TOP_DOWN
 
+    def restore(self, state: Direction) -> None:
+        """Reinstall a checkpointed hysteresis state (crash recovery)."""
+        if not isinstance(state, Direction):
+            raise ConfigError(f"not a direction: {state!r}")
+        self._state = state
+
     def decide(
         self,
         frontier_vertices: int,

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.pipeline import NodePipeline
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
+from repro.resilience.checkpoint import NodeSnapshot
 
 
 def expand_chunks(
@@ -108,6 +109,25 @@ class NodeState:
         self.parent[r] = root
         self.curr = np.array([r], dtype=np.int64)
         self.curr_mask[r] = True
+
+    def snapshot(self) -> NodeSnapshot:
+        """Deep-copy the level-barrier state for a checkpoint.
+
+        Only taken at barriers, where ``next_mask`` is clear and the
+        bottom-up cursors are zeroed — so parent + current frontier is the
+        complete state.
+        """
+        return NodeSnapshot(
+            self.parent.copy(), self.curr.copy(), self.curr_mask.copy()
+        )
+
+    def restore(self, snap: NodeSnapshot) -> None:
+        """Rewind to a checkpointed barrier state (after a crash)."""
+        self.parent[:] = snap.parent
+        self.curr = snap.curr.copy()
+        self.curr_mask[:] = snap.curr_mask
+        self.next_mask[:] = False
+        self.bu_cursor[:] = 0
 
     def advance_level(self) -> int:
         """Promote next to curr; returns the new local frontier size."""

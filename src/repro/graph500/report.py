@@ -12,16 +12,26 @@ from repro.utils.units import fmt_count, fmt_time
 
 @dataclass(frozen=True)
 class RootRun:
-    """Result of the kernel on one search root."""
+    """Result of the kernel on one search root.
+
+    ``failure`` is ``None`` for a run that completed (its result may still
+    have failed validation — see ``validated``); under the runner's
+    ``on_root_failure="skip"`` policy it records *why* the root produced no
+    usable result (an unrecoverable simulated crash, or the validation
+    error) instead of aborting the whole benchmark.
+    """
 
     root: int
     traversed_edges: int
     seconds: float
     levels: int
     validated: bool
+    failure: str | None = None
 
     @property
     def teps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
         return self.traversed_edges / self.seconds
 
 
@@ -37,10 +47,20 @@ class BenchmarkReport:
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
+    def successful_runs(self) -> list[RootRun]:
+        """Runs that produced a result (failed roots carry no timing)."""
+        return [r for r in self.runs if r.failure is None]
+
+    @property
+    def failed_runs(self) -> list[RootRun]:
+        return [r for r in self.runs if r.failure is not None]
+
+    @property
     def stats(self) -> TepsStatistics:
+        runs = self.successful_runs
         return TepsStatistics.from_runs(
-            [r.traversed_edges for r in self.runs],
-            [r.seconds for r in self.runs],
+            [r.traversed_edges for r in runs],
+            [r.seconds for r in runs],
         )
 
     @property
@@ -49,38 +69,56 @@ class BenchmarkReport:
 
     @property
     def all_validated(self) -> bool:
-        return all(r.validated for r in self.runs)
+        """Every *completed* run validated (failed roots report separately)."""
+        return all(r.validated for r in self.successful_runs)
 
     def summary(self) -> str:
-        s = self.stats
         lines = [
             f"Graph500 BFS — scale {self.spec.scale} "
             f"(2^{self.spec.scale} vertices, edgefactor {self.spec.edge_factor}), "
             f"{self.nodes} simulated nodes, variant {self.variant!r}",
-            f"  roots run:        {len(self.runs)} "
-            f"({'all validated' if self.all_validated else 'VALIDATION FAILURES'})",
-            f"  harmonic mean:    {s.gteps():.4f} GTEPS",
-            f"  min / median / max: {s.min() / 1e9:.4f} / {s.median() / 1e9:.4f} / "
-            f"{s.max() / 1e9:.4f} GTEPS",
-            f"  construction:     {fmt_time(self.construction_seconds)} (simulated)",
         ]
+        failed = self.failed_runs
+        if not self.successful_runs:
+            status = "NO ROOT COMPLETED"
+        elif self.all_validated:
+            status = "all validated"
+        else:
+            status = "VALIDATION FAILURES"
+        if failed:
+            status += f", {len(failed)} root(s) FAILED"
+        lines.append(f"  roots run:        {len(self.runs)} ({status})")
+        if self.successful_runs:
+            s = self.stats
+            lines += [
+                f"  harmonic mean:    {s.gteps():.4f} GTEPS",
+                f"  min / median / max: {s.min() / 1e9:.4f} / "
+                f"{s.median() / 1e9:.4f} / {s.max() / 1e9:.4f} GTEPS",
+            ]
+        else:
+            lines.append("  harmonic mean:    n/a (no root completed)")
+        lines.append(
+            f"  construction:     {fmt_time(self.construction_seconds)} (simulated)"
+        )
         return "\n".join(lines)
 
     def to_json(self) -> str:
         """Machine-readable report (for result archiving / plotting)."""
         import json
 
-        s = self.stats
+        ok = bool(self.successful_runs)
+        s = self.stats if ok else None
         return json.dumps(
             {
                 "scale": self.spec.scale,
                 "edge_factor": self.spec.edge_factor,
                 "nodes": self.nodes,
                 "variant": self.variant,
-                "gteps_harmonic_mean": s.gteps(),
-                "gteps_min": s.min() / 1e9,
-                "gteps_max": s.max() / 1e9,
+                "gteps_harmonic_mean": s.gteps() if ok else None,
+                "gteps_min": s.min() / 1e9 if ok else None,
+                "gteps_max": s.max() / 1e9 if ok else None,
                 "all_validated": self.all_validated,
+                "failed_roots": len(self.failed_runs),
                 "construction_seconds": self.construction_seconds,
                 "extra": self.extra,
                 "runs": [
@@ -90,6 +128,7 @@ class BenchmarkReport:
                         "seconds": r.seconds,
                         "levels": r.levels,
                         "validated": r.validated,
+                        "failure": r.failure,
                     }
                     for r in self.runs
                 ],
@@ -97,8 +136,12 @@ class BenchmarkReport:
         )
 
     def per_root_table(self) -> str:
-        t = Table(["root", "edges", "levels", "sim time", "GTEPS", "valid"])
+        t = Table(["root", "edges", "levels", "sim time", "GTEPS", "status"])
         for r in self.runs:
+            if r.failure is not None:
+                status = f"FAILED: {r.failure}"
+            else:
+                status = "ok" if r.validated else "INVALID"
             t.add_row(
                 [
                     r.root,
@@ -106,7 +149,7 @@ class BenchmarkReport:
                     r.levels,
                     fmt_time(r.seconds),
                     f"{r.teps / 1e9:.4f}",
-                    "yes" if r.validated else "NO",
+                    status,
                 ]
             )
         return t.render()

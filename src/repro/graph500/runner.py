@@ -3,13 +3,21 @@
 Steps (Section 2.3): generate -> sample roots -> construct -> run kernel per
 root -> validate -> report. Wall-clock time is irrelevant here; *simulated*
 seconds from the machine/network models produce the TEPS figures.
+
+Resilience hooks: a :class:`~repro.resilience.config.ResilienceConfig`
+turns on the reliable transport and/or checkpointed recovery inside the
+kernel; ``fault_plan`` / ``node_faults`` install seeded fault injectors on
+the kernel's cluster (below the transport, so retransmissions are at risk
+too); and ``on_root_failure="skip"`` records an unrecoverable root as a
+failed :class:`~repro.graph500.report.RootRun` — with its failure reason —
+instead of aborting the whole benchmark.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigError, ValidationError
+from repro.errors import ConfigError, SimulatedCrash, ValidationError
 from repro.graph.csr import CSRGraph
 from repro.graph.kronecker import KroneckerGenerator
 from repro.graph500.report import BenchmarkReport, RootRun
@@ -17,6 +25,14 @@ from repro.graph500.roots import sample_roots
 from repro.graph500.spec import Graph500Spec
 from repro.graph500.timing import traversed_edges
 from repro.graph500.validate import validate_bfs_result
+
+#: Transport/fault counters surfaced into ``report.extra`` when non-zero.
+_RESILIENCE_COUNTERS = (
+    "rt_messages", "acks", "retransmits", "gave_up", "dup_suppressed",
+    "corrupt_detected", "dead_letters", "node_crashes", "checkpoints",
+    "recoveries", "fault_drops", "fault_duplicates", "fault_delays",
+    "fault_reorders", "fault_corruptions",
+)
 
 
 class Graph500Runner:
@@ -32,6 +48,10 @@ class Graph500Runner:
         config=None,
         nodes_per_super_node: int | None = None,
         validate: bool | str = "sequential",
+        resilience=None,
+        fault_plan=None,
+        node_faults=None,
+        on_root_failure: str = "abort",
     ):
         if nodes < 1:
             raise ConfigError(f"need at least one simulated node, got {nodes}")
@@ -50,6 +70,14 @@ class Graph500Runner:
                 f"validate must be sequential/distributed/none, got {validate!r}"
             )
         self.validate = validate
+        self.resilience = resilience
+        self.fault_plan = fault_plan
+        self.node_faults = node_faults
+        if on_root_failure not in ("skip", "abort"):
+            raise ConfigError(
+                f"on_root_failure must be skip/abort, got {on_root_failure!r}"
+            )
+        self.on_root_failure = on_root_failure
 
     def run(self, num_roots: int = 64) -> BenchmarkReport:
         # Step 1: generate the raw edge list.
@@ -72,7 +100,20 @@ class Graph500Runner:
             self.nodes,
             config=self.config,
             nodes_per_super_node=self.nodes_per_super_node,
+            resilience=self.resilience,
         )
+        # Fault injectors wrap the cluster's raw send path, *below* the
+        # reliable channel (which intercepts delivery and sends through
+        # ``cluster.send`` dynamically): every retransmission re-rolls the
+        # fault dice, exactly like a lossy wire.
+        if self.fault_plan is not None:
+            from repro.sim.faults import RandomFaultInjector
+
+            RandomFaultInjector(bfs.cluster, self.fault_plan)
+        if self.node_faults is not None:
+            from repro.sim.faults import NodeFaultInjector
+
+            NodeFaultInjector(bfs.cluster, self.node_faults)
 
         report = BenchmarkReport(
             spec=self.spec,
@@ -93,14 +134,32 @@ class Graph500Runner:
 
         # Steps 4-5: kernel + validation per root.
         for root in np.asarray(roots):
-            result = bfs.run(int(root))
+            try:
+                result = bfs.run(int(root))
+            except SimulatedCrash as crash:
+                if self.on_root_failure == "abort":
+                    raise
+                report.runs.append(
+                    RootRun(
+                        root=int(root),
+                        traversed_edges=0,
+                        seconds=0.0,
+                        levels=0,
+                        validated=False,
+                        failure=f"crash: {crash.reason}",
+                    )
+                )
+                continue
             validated = True
+            failure = None
             if self.validate == "sequential":
                 try:
                     validate_bfs_result(graph, edges, int(root), result.parent)
-                except ValidationError:
+                except ValidationError as exc:
                     validated = False
-                    raise
+                    if self.on_root_failure == "abort":
+                        raise
+                    failure = f"validation: {exc}"
             elif validator is not None:
                 vres = validator.validate(int(root), result.parent)
                 report.extra["validation_seconds"] = (
@@ -114,6 +173,11 @@ class Graph500Runner:
                     seconds=result.sim_seconds,
                     levels=result.levels,
                     validated=validated,
+                    failure=failure,
                 )
             )
+        for key in _RESILIENCE_COUNTERS:
+            value = bfs.cluster.stats.value(key)
+            if value:
+                report.extra[key] = value
         return report

@@ -37,13 +37,22 @@ class SuiteResult:
 
 @dataclass
 class BenchmarkSuite:
-    """Run cases sequentially; crashes become rows, not exceptions."""
+    """Run cases sequentially; crashes become rows, not exceptions.
+
+    ``on_root_failure="skip"`` additionally degrades *within* a case: an
+    unrecoverable root becomes a failed :class:`RootRun` row in that case's
+    report rather than crashing the case.
+    """
 
     cases: Sequence[SuiteCase]
     num_roots: int = 4
     seed: int = 1
     config: BFSConfig | None = None
     nodes_per_super_node: int | None = None
+    resilience: object | None = None
+    fault_plan: object | None = None
+    node_faults: object | None = None
+    on_root_failure: str = "abort"
     results: list[SuiteResult] = field(default_factory=list)
 
     def run(self) -> list[SuiteResult]:
@@ -59,6 +68,10 @@ class BenchmarkSuite:
                     variant=case.variant,
                     config=self.config,
                     nodes_per_super_node=self.nodes_per_super_node,
+                    resilience=self.resilience,
+                    fault_plan=self.fault_plan,
+                    node_faults=self.node_faults,
+                    on_root_failure=self.on_root_failure,
                 ).run(num_roots=self.num_roots)
                 self.results.append(SuiteResult(case, report))
             except SimulatedCrash as crash:
@@ -71,12 +84,20 @@ class BenchmarkSuite:
             title="Benchmark suite",
         )
         for r in self.results:
-            if r.ok:
+            if r.ok and r.report.successful_runs:
                 stats = r.report.stats
+                status = "ok" if r.report.all_validated else "INVALID"
+                failed = r.report.failed_runs
+                if failed:
+                    status += f" ({len(failed)} root(s) failed)"
                 t.add_row(
                     [r.case.scale, r.case.nodes, r.case.variant,
-                     f"{stats.gteps():.4f}", f"{stats.min() / 1e9:.4f}",
-                     "ok" if r.report.all_validated else "INVALID"]
+                     f"{stats.gteps():.4f}", f"{stats.min() / 1e9:.4f}", status]
+                )
+            elif r.ok:
+                t.add_row(
+                    [r.case.scale, r.case.nodes, r.case.variant, "-", "-",
+                     "ALL ROOTS FAILED"]
                 )
             else:
                 t.add_row(

@@ -22,7 +22,6 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections import deque
 from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigError, DeadlockError

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.utils.units import GBPS, GiB, KiB, MiB, US, NS
+from repro.utils.units import GBPS, GiB, KiB, US, NS
 
 
 @dataclass(frozen=True)
@@ -149,7 +149,6 @@ def spec_table_rows() -> list[tuple[str, str]]:
     """Rows of Table 1 as rendered by ``benchmarks/bench_table1_specs.py``."""
     t = TAIHULIGHT.taihulight
     n = t.node
-    cg = n.core_group
     return [
         ("MPE", "1.45 GHz, 32KB L1 D-Cache, 256KB L2"),
         ("CPE", "1.45 GHz, 64KB SPM"),

@@ -16,7 +16,6 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
-import numpy as np
 
 from repro.errors import ConfigError
 from repro.network.simmpi import Message, SimCluster

@@ -87,8 +87,8 @@ class NetworkModel:
 
     def total_bytes(self) -> float:
         """Bytes injected at source NICs (each message counted once)."""
-        return sum(l.bytes_carried for l in self.nic_out)
+        return sum(link.bytes_carried for link in self.nic_out)
 
     def central_bytes(self) -> float:
         """Bytes that crossed the oversubscribed central switches."""
-        return sum(l.bytes_carried for l in self.uplink)
+        return sum(link.bytes_carried for link in self.uplink)

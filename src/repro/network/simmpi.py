@@ -14,7 +14,7 @@ Direct-MPE baseline did.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Callable
 from typing import Any
 
@@ -74,6 +74,7 @@ class SimCluster:
             ConnectionTable(i, spec.node) for i in range(num_nodes)
         ]
         self._handlers: dict[int, Handler] = {}
+        self._dead: set[int] = set()
 
     @property
     def num_nodes(self) -> int:
@@ -86,6 +87,28 @@ class SimCluster:
         if rank in self._handlers:
             raise SimulationError(f"rank {rank} already has a handler")
         self._handlers[rank] = handler
+
+    # -- node lifecycle -------------------------------------------------------
+    def deregister(self, rank: int) -> None:
+        """Mark ``rank`` crashed: its handler is removed and every message
+        addressed to (or injected by) it from now on is counted under the
+        ``dead_letters`` stat instead of raising inside the engine."""
+        self.topology.check_node(rank)
+        self._handlers.pop(rank, None)
+        self._dead.add(rank)
+
+    def revive(self, rank: int, handler: Handler) -> None:
+        """Bring a crashed rank back (a replacement node taking over the
+        rank): clears the dead mark and installs a fresh handler."""
+        self.topology.check_node(rank)
+        self._dead.discard(rank)
+        self._handlers[rank] = handler
+
+    def is_alive(self, rank: int) -> bool:
+        return rank not in self._dead
+
+    def dead_ranks(self) -> frozenset[int]:
+        return frozenset(self._dead)
 
     # -- sending --------------------------------------------------------------
     def send(
@@ -123,6 +146,10 @@ class SimCluster:
         return msg
 
     def _inject(self, msg: Message) -> None:
+        if msg.src in self._dead:
+            # The sender crashed before its NIC got the message out.
+            self.stats.counter("dead_letters").add()
+            return
         arrival = self.network.transfer(
             msg.src, msg.dst, msg.nbytes, self.engine.now
         )
@@ -138,6 +165,9 @@ class SimCluster:
     def _deliver(self, msg: Message) -> None:
         handler = self._handlers.get(msg.dst)
         if handler is None:
+            if msg.dst in self._dead:
+                self.stats.counter("dead_letters").add()
+                return
             raise SimulationError(f"rank {msg.dst} has no handler for {msg.tag!r}")
         handler(msg)
 

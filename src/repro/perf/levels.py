@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.config import BFSConfig
 from repro.errors import ConfigError
@@ -79,7 +78,6 @@ class LevelModel:
         # Per-epoch overheads distribute over levels (BU levels carry their
         # sub-rounds' share of sync + straggle; allgather is per level).
         p = self.params
-        n_levels = len(self.shares)
         epochs_per_level = []
         for d in self.directions:
             epochs_per_level.append(

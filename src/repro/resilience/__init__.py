@@ -1,0 +1,34 @@
+"""Resilience layer: reliable transport, checkpointing, failure recovery.
+
+The paper's 40,960-node runs lean on MPI's reliable delivery and on
+whole-run restarts when nodes fail. This package makes that implicit layer
+explicit and testable on the simulated machine:
+
+- :mod:`repro.resilience.config` — :class:`ResilienceConfig`, the knobs
+  (everything defaults to off, preserving the fault-free baseline);
+- :mod:`repro.resilience.channel` — :class:`ReliableChannel`, a
+  user-level ack/retransmit/dedup/checksum transport over SimMPI;
+- :mod:`repro.resilience.checkpoint` — level-synchronous
+  :class:`Checkpoint` snapshots and the :class:`CheckpointStore` the BFS
+  driver recovers from after a simulated node crash.
+
+Fault *injection* stays in :mod:`repro.sim.faults` (it perturbs the
+simulation); this package is the machinery that survives it. Graceful
+degradation at the benchmark level (``on_root_failure="skip"``) lives in
+:mod:`repro.graph500.runner`.
+"""
+
+from repro.resilience.channel import ACK_TAG, Envelope, ReliableChannel, payload_checksum
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore, NodeSnapshot
+from repro.resilience.config import ResilienceConfig
+
+__all__ = [
+    "ACK_TAG",
+    "Envelope",
+    "ReliableChannel",
+    "payload_checksum",
+    "Checkpoint",
+    "CheckpointStore",
+    "NodeSnapshot",
+    "ResilienceConfig",
+]

@@ -1,0 +1,79 @@
+"""Level-synchronous BFS checkpointing: snapshots and the recovery store.
+
+The level barrier of the distributed BFS is a natural global-consistency
+point: no messages are in flight, every node's parent array and frontier
+are settled. A :class:`Checkpoint` captures exactly that state — per-node
+parent/frontier snapshots plus the replicated hub bitmaps and the
+direction-policy state — every ``k`` levels. After a fail-stop node crash,
+restoring the last checkpoint on *all* nodes (the replacement rank
+included) rewinds the traversal to a consistent level and the driver
+simply re-runs the lost levels.
+
+The cost model (priced by the driver): each node ships its snapshot to a
+buddy node's memory over the NIC, in parallel, plus a barrier allreduce —
+the classic in-memory buddy-checkpointing scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One node's BFS state at a level barrier (deep copies)."""
+
+    parent: np.ndarray
+    curr: np.ndarray
+    curr_mask: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes to ship this snapshot: the parent array plus the
+        frontier as a bitmap (``curr`` is derivable from ``curr_mask``)."""
+        return int(self.parent.nbytes) + (len(self.curr_mask) + 7) // 8
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A globally consistent traversal state at the end of ``level``."""
+
+    level: int
+    snapshots: tuple[NodeSnapshot, ...]
+    #: Replicated hub bitmaps (copies), when hub prefetch is enabled.
+    hub_frontier: Any = None
+    hub_visited: Any = None
+    #: The direction policy's hysteresis state at the barrier.
+    policy_state: Any = None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.nbytes for s in self.snapshots)
+
+    @property
+    def max_node_bytes(self) -> int:
+        return max((s.nbytes for s in self.snapshots), default=0)
+
+
+@dataclass
+class CheckpointStore:
+    """Keeps the most recent checkpoint (buddy memory holds exactly one)."""
+
+    last: Checkpoint | None = None
+    taken: int = 0
+    restored: int = 0
+    bytes_written: int = field(default=0)
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        self.last = checkpoint
+        self.taken += 1
+        self.bytes_written += checkpoint.total_bytes
+
+    def restore(self) -> Checkpoint:
+        if self.last is None:
+            raise LookupError("no checkpoint to restore from")
+        self.restored += 1
+        return self.last

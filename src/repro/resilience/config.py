@@ -1,0 +1,68 @@
+"""Configuration for the resilience layer (transport + checkpointing)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """All knobs of the resilience subsystem. Defaults are "everything off"
+    — the fault-free paper configuration — so the baseline pipeline is
+    byte-identical unless a caller opts in."""
+
+    # -- reliable transport -----------------------------------------------------
+    #: Wrap all BFS traffic in the ack/retransmit protocol of
+    #: :class:`repro.resilience.channel.ReliableChannel`.
+    reliable_transport: bool = False
+    #: Seconds without an ack before the first retransmission. Should
+    #: comfortably exceed one round trip at the scales being simulated;
+    #: a premature timeout only costs duplicate traffic (suppressed at the
+    #: receiver), never correctness.
+    ack_timeout: float = 2e-4
+    #: Retransmissions before the sender gives up on a message.
+    max_retries: int = 5
+    #: Exponential backoff base: attempt ``k`` waits
+    #: ``ack_timeout * backoff_factor**k`` (plus jitter).
+    backoff_factor: float = 2.0
+    #: Uniform jitter added to each timeout as a fraction of its value,
+    #: drawn from a :func:`~repro.sim.rng.substream` of ``seed`` so runs
+    #: replay exactly.
+    jitter_fraction: float = 0.1
+    #: Wire size of an ack frame.
+    ack_bytes: int = 32
+    #: Master seed for the transport's jitter stream.
+    seed: int = 0
+
+    # -- checkpointed recovery ----------------------------------------------------
+    #: Snapshot frontier + parent state every this many BFS levels
+    #: (0 = checkpointing off). A level-0 checkpoint is always taken when
+    #: enabled, so any crash is recoverable.
+    checkpoint_interval: int = 0
+    #: Abort a root after this many checkpoint recoveries (a runaway guard;
+    #: each fail-stop crash fires once, so real runs stay far below it).
+    max_recoveries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ConfigError(f"ack timeout must be positive, got {self.ack_timeout}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max retries cannot be negative: {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigError(
+                f"jitter fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        if self.ack_bytes < 0:
+            raise ConfigError(f"ack bytes cannot be negative: {self.ack_bytes}")
+        if self.checkpoint_interval < 0:
+            raise ConfigError(
+                f"checkpoint interval cannot be negative: {self.checkpoint_interval}"
+            )
+        if self.max_recoveries < 1:
+            raise ConfigError(f"max recoveries must be >= 1: {self.max_recoveries}")

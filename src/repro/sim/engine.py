@@ -31,6 +31,7 @@ class Engine:
         self._now = 0.0
         self._events_executed = 0
         self._running = False
+        self._cancelled: set[int] = set()
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -44,34 +45,53 @@ class Engine:
         return self._events_executed
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - len(self._cancelled)
 
     # -- scheduling ------------------------------------------------------------
-    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
-        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> int:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``.
+
+        Returns an event handle usable with :meth:`cancel`.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={when!r} before now={self._now!r}"
             )
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        handle = self._seq
+        heapq.heappush(self._queue, (when, handle, fn, args))
         self._seq += 1
+        return handle
 
-    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> int:
         """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        self.call_at(self._now + delay, fn, *args)
+        return self.call_at(self._now + delay, fn, *args)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a pending event by the handle :meth:`call_at` returned.
+
+        A cancelled event is discarded without executing and — unlike a
+        no-op callback — without advancing the clock, so timeout guards
+        (ack timers, watchdogs) don't inflate simulated time once their
+        condition is met. Only pending events may be cancelled: cancelling
+        an already-executed handle corrupts the queue accounting.
+        """
+        self._cancelled.add(handle)
 
     # -- running ----------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next event. Returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self._now = when
-        self._events_executed += 1
-        fn(*args)
-        return True
+        """Execute the next live event. Returns False when the queue is empty."""
+        while self._queue:
+            when, seq, fn, args = heapq.heappop(self._queue)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self._now = when
+            self._events_executed += 1
+            fn(*args)
+            return True
+        return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Drain the queue (optionally bounded by time or event count).

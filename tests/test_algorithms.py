@@ -61,7 +61,6 @@ def test_sssp_on_ring_unit_structure():
     result = DistributedSSSP(edges, 4, **KW).run(0)
     # Distances respect ring geometry: symmetric neighbours at most one
     # hop-weight apart along the two directions.
-    w01 = edge_weight(np.array([0]), np.array([1]))[0]
     assert result.dist[0] == 0
     assert result.dist[1] <= result.dist[2]  # monotone along the short arc
 

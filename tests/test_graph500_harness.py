@@ -43,7 +43,6 @@ def test_sample_roots_distinct_and_deterministic():
     r2 = sample_roots(edges, 16, seed=9)
     assert np.array_equal(r1, r2)
     assert len(np.unique(r1)) == 16
-    deg = edges.undirected_degrees()
     loopless = edges.without_self_loops()
     deg_nl = np.bincount(loopless.src, minlength=edges.num_vertices) + np.bincount(
         loopless.dst, minlength=edges.num_vertices

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.machine.rcomm import BYTES_PER_CYCLE, SYNC_CYCLES, RegisterComm
+from repro.machine.rcomm import SYNC_CYCLES, RegisterComm
 from repro.machine.cluster import CpeCluster
 
 rc = RegisterComm()

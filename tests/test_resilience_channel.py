@@ -1,0 +1,218 @@
+"""Reliable-transport tests: acks, retransmission, dedup, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS
+from repro.errors import ConfigError
+from repro.graph import CSRGraph, KroneckerGenerator
+from repro.graph500.validate import validate_bfs_result
+from repro.network.simmpi import SimCluster
+from repro.resilience import ACK_TAG, ReliableChannel, ResilienceConfig
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    RandomFaultInjector,
+    RandomFaultPlan,
+    dropped_message,
+)
+
+CFG = BFSConfig(hub_count_topdown=16, hub_count_bottomup=16)
+RELIABLE = ResilienceConfig(reliable_transport=True)
+
+
+def make_bfs(seed=41, resilience=None):
+    edges = KroneckerGenerator(scale=10, seed=seed).generate()
+    graph = CSRGraph.from_edges(edges)
+    root = int(np.flatnonzero(graph.degrees() > 0)[0])
+    bfs = DistributedBFS(
+        edges, 8, config=CFG, nodes_per_super_node=4, resilience=resilience
+    )
+    return edges, graph, root, bfs
+
+
+def test_reliable_clean_run_is_transparent():
+    """On a perfect wire the channel only adds acks: same tree, same
+    depths, zero retransmissions."""
+    edges, graph, root, clean_bfs = make_bfs()
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs(resilience=RELIABLE)
+    result = bfs.run(root)
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), clean.depths())
+    assert result.stats["retransmits"] == 0
+    assert result.stats["gave_up"] == 0
+    assert result.stats["acks"] > 0
+    # Simulated time is identical: acks ride the network model but never
+    # gate a compute stage on a loss-free wire.
+    assert result.sim_seconds == pytest.approx(clean.sim_seconds)
+
+
+def test_retransmission_recovers_from_random_drops():
+    """The acceptance scenario: >= 1% drop rate, every loss retransmitted,
+    the run completes and passes full Graph500 validation."""
+    edges, graph, root, clean_bfs = make_bfs()
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs(resilience=RELIABLE)
+    injector = RandomFaultInjector(
+        bfs.cluster, RandomFaultPlan(drop_rate=0.02, seed=7)
+    )
+    result = bfs.run(root)
+    assert injector.dropped > 0
+    assert result.stats["retransmits"] >= injector.dropped
+    assert result.stats["gave_up"] == 0
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), clean.depths())
+    # Losses cost (simulated) time, never correctness.
+    assert result.sim_seconds > clean.sim_seconds
+
+
+def test_duplicate_storm_is_suppressed():
+    edges, graph, root, clean_bfs = make_bfs()
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs(resilience=RELIABLE)
+    injector = RandomFaultInjector(
+        bfs.cluster, RandomFaultPlan(duplicate_rate=0.3, seed=11)
+    )
+    result = bfs.run(root)
+    assert injector.duplicated > 0
+    assert result.stats["dup_suppressed"] > 0
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), clean.depths())
+
+
+def test_corruption_detected_and_retransmitted():
+    """Checksum mismatch discards the payload; the sender's timer then
+    retransmits the clean copy, so the tree still validates."""
+    edges, graph, root, clean_bfs = make_bfs()
+    clean = clean_bfs.run(root)
+    _, _, _, bfs = make_bfs(resilience=RELIABLE)
+    injector = RandomFaultInjector(
+        bfs.cluster, RandomFaultPlan(corrupt_rate=0.02, seed=5)
+    )
+    result = bfs.run(root)
+    assert injector.corrupted > 0
+    assert result.stats["corrupt_detected"] > 0
+    assert result.stats["retransmits"] > 0
+    validate_bfs_result(graph, edges, root, result.parent)
+    assert np.array_equal(result.depths(), clean.depths())
+
+
+def test_mixed_faults_deterministic_replay():
+    """Same seed -> bit-identical stats and tree across fresh simulations."""
+
+    def one_run():
+        edges, graph, root, bfs = make_bfs(resilience=RELIABLE)
+        plan = RandomFaultPlan(
+            drop_rate=0.01, duplicate_rate=0.05, delay_rate=0.05,
+            corrupt_rate=0.01, seed=23,
+        )
+        RandomFaultInjector(bfs.cluster, plan)
+        result = bfs.run(root)
+        validate_bfs_result(graph, edges, root, result.parent)
+        return result
+
+    a, b = one_run(), one_run()
+    assert a.stats == b.stats
+    assert a.sim_seconds == b.sim_seconds
+    assert np.array_equal(a.parent, b.parent)
+    assert a.stats["retransmits"] > 0
+
+
+def test_different_seed_different_faults():
+    def stats_for(seed):
+        _, _, root, bfs = make_bfs(resilience=RELIABLE)
+        RandomFaultInjector(
+            bfs.cluster, RandomFaultPlan(drop_rate=0.02, seed=seed)
+        )
+        return bfs.run(root).stats
+
+    assert stats_for(1) != stats_for(2)
+
+
+def test_exhausted_retries_counts_gave_up():
+    """A wire that eats *everything* makes the sender give up after
+    max_retries attempts — counted, not hung."""
+    engine = Engine()
+    cluster = SimCluster(engine, num_nodes=2)
+    received = []
+    cluster.register(0, lambda m: received.append(m))
+    cluster.register(1, lambda m: received.append(m))
+    res = ResilienceConfig(reliable_transport=True, max_retries=3)
+    channel = ReliableChannel(cluster, res)
+    original_send = cluster.send
+
+    def black_hole(src, dst, tag, nbytes, payload=None, at_time=None):
+        return dropped_message(src, dst, tag, nbytes, payload, at_time
+                               if at_time is not None else engine.now)
+
+    cluster.send = black_hole
+    channel.send(0, 1, "fwd", 64, payload=None)
+    engine.run_until_quiescent()
+    cluster.send = original_send
+    assert cluster.stats.value("gave_up") == 1
+    # 1 original attempt + max_retries retransmissions, all eaten.
+    assert cluster.stats.value("retransmits") == 3
+    assert not received
+
+
+def test_ack_tag_is_reserved():
+    engine = Engine()
+    cluster = SimCluster(engine, num_nodes=2)
+    cluster.register(0, lambda m: None)
+    cluster.register(1, lambda m: None)
+    channel = ReliableChannel(cluster, RELIABLE)
+    with pytest.raises(ConfigError):
+        channel.send(0, 1, ACK_TAG, 8)
+
+
+def test_channel_uninstall_is_idempotent():
+    engine = Engine()
+    cluster = SimCluster(engine, num_nodes=2)
+    cluster.register(0, lambda m: None)
+    cluster.register(1, lambda m: None)
+    deliver_before = cluster._deliver
+    channel = ReliableChannel(cluster, RELIABLE)
+    assert cluster._deliver != deliver_before
+    channel.uninstall()
+    assert cluster._deliver == deliver_before
+    channel.uninstall()  # second call is a no-op
+    assert cluster._deliver == deliver_before
+
+
+def test_dropped_message_sentinel():
+    msg = dropped_message(0, 1, "fwd", 64, None, 0.5)
+    assert msg.src == 0 and msg.dst == 1
+    assert msg.arrival_time == float("inf")
+
+
+def test_injector_context_manager_uninstalls():
+    _, _, root, bfs = make_bfs()
+    send_before = bfs.cluster.send
+    with RandomFaultInjector(
+        bfs.cluster, RandomFaultPlan(drop_rate=1.0, seed=3)
+    ) as injector:
+        assert injector.installed
+        assert bfs.cluster.send != send_before
+    assert not injector.installed
+    assert bfs.cluster.send == send_before
+    # With the lossy wire gone the run is clean again.
+    result = bfs.run(root)
+    assert result.stats["messages"] > 0
+
+
+def test_fault_plan_rejects_bad_rates():
+    with pytest.raises(ConfigError):
+        RandomFaultPlan(drop_rate=1.5)
+    with pytest.raises(ConfigError):
+        RandomFaultPlan(delay_rate=-0.1)
+
+
+def test_resilience_config_validation():
+    with pytest.raises(ConfigError):
+        ResilienceConfig(ack_timeout=0.0)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(max_retries=-1)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(backoff_factor=0.5)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(checkpoint_interval=-2)
