@@ -44,8 +44,13 @@ def make_variant(
     spec: MachineSpec = TAIHULIGHT,
     nodes_per_super_node: int | None = None,
     resilience=None,
+    graph=None,
 ) -> DistributedBFS:
-    """Instantiate a named variant over ``edges`` on ``nodes`` simulated nodes."""
+    """Instantiate a named variant over ``edges`` on ``nodes`` simulated nodes.
+
+    ``graph`` optionally supplies an already-built symmetrised/deduplicated
+    CSR for ``edges`` so construction work is shared with the caller.
+    """
     return DistributedBFS(
         edges,
         nodes,
@@ -53,4 +58,5 @@ def make_variant(
         spec=spec,
         nodes_per_super_node=nodes_per_super_node,
         resilience=resilience,
+        graph=graph,
     )

@@ -74,6 +74,7 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         node_faults=node_faults,
         on_root_failure=args.on_root_failure,
+        workers=args.workers,
     )
     report = runner.run(num_roots=args.roots)
     print(report.summary())
@@ -257,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="relay-cpe")
     p.add_argument("--super-node", type=int, default=None)
     p.add_argument("--per-root", action="store_true")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fork-parallel root execution (1 = sequential; "
+                        "fault/resilience configs always run sequentially)")
     fault = p.add_argument_group("fault injection (seeded, replayable)")
     fault.add_argument("--drop-rate", type=float, default=0.0,
                        help="probability a message is dropped on the wire")

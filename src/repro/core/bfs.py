@@ -34,6 +34,7 @@ from repro.graph.partition import Partition1D
 from repro.graph500.reference import depths_from_parents
 from repro.machine.node import SunwayNode
 from repro.machine.specs import MachineSpec, TAIHULIGHT
+from repro.network.codec import encoded_size
 from repro.network.simmpi import Message, SimCluster
 from repro.resilience.channel import ReliableChannel
 from repro.resilience.checkpoint import Checkpoint, CheckpointStore
@@ -119,6 +120,7 @@ class DistributedBFS:
         spec: MachineSpec = TAIHULIGHT,
         nodes_per_super_node: int | None = None,
         resilience: ResilienceConfig | None = None,
+        graph: CSRGraph | None = None,
     ):
         self.config = config or BFSConfig()
         self.resilience = resilience or ResilienceConfig()
@@ -132,7 +134,17 @@ class DistributedBFS:
             )
         self.num_nodes = nodes
         self.edges = edges
-        self.graph = CSRGraph.from_edges(edges)
+        # ``graph`` lets callers that already built the symmetrised
+        # deduplicated CSR (the benchmark runner builds it for validation)
+        # share it instead of paying construction twice.
+        if graph is None:
+            graph = CSRGraph.from_edges(edges)
+        elif graph.num_vertices != edges.num_vertices:
+            raise ConfigError(
+                f"prebuilt graph has {graph.num_vertices} vertices, "
+                f"edge list has {edges.num_vertices}"
+            )
+        self.graph = graph
         n = self.graph.num_vertices
         if nodes > n:
             raise ConfigError(f"{nodes} nodes for only {n} vertices")
@@ -368,19 +380,25 @@ class DistributedBFS:
         pipelined against the producing module's progress."""
         if len(first_hops) == 0:
             return
-        order = np.argsort(first_hops, kind="stable")
-        hops_sorted = first_hops[order]
-        u, v = u[order], v[order]
-        boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
-        starts = np.concatenate(([0], boundaries))
-        stops = np.concatenate((boundaries, [len(hops_sorted)]))
+        if first_hops[0] == first_hops[-1] and np.all(first_hops == first_hops[0]):
+            # Single destination (the common case under relay grouping):
+            # the stable argsort would be the identity, so skip it and emit
+            # the one bucket directly.
+            hops_sorted = first_hops
+            starts = np.array([0], dtype=np.int64)
+            stops = np.array([len(first_hops)], dtype=np.int64)
+        else:
+            order = np.argsort(first_hops, kind="stable")
+            hops_sorted = first_hops[order]
+            u, v = u[order], v[order]
+            boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [len(hops_sorted)]))
         n_buckets = len(starts)
         for k, (a, b) in enumerate(zip(starts, stops)):
             dest = int(hops_sorted[a])
             count = b - a
             if self.config.use_codec:
-                from repro.network.codec import encoded_size
-
                 nbytes = self.config.header_bytes + encoded_size(u[a:b], v[a:b])
             else:
                 nbytes = self._message_bytes(count)

@@ -1,0 +1,188 @@
+"""Parallel multi-root execution for the Graph500 harness.
+
+The benchmark's search roots are mutually independent: each ``run(root)``
+resets the kernel state, and the simulated per-root duration is a span, not
+an absolute clock. That independence lets the harness fan roots across a
+fork-based process pool — the same per-root parallelism Bisson et al.
+exploit to keep the Graph500 harness off the critical path — while the
+expensive shared state (edge list, CSR, constructed kernel) reaches the
+workers through copy-on-write fork memory, never through pickling.
+
+Determinism: roots are assigned to workers *statically* (round-robin by
+index) and every worker is a single fresh fork that runs its chunk in
+order, so the merged report is a pure function of (graph, roots, workers)
+— OS scheduling cannot reorder or re-home work. Parent maps,
+traversed-edge counts and level counts are exactly equal to the sequential
+path's; per-root simulated seconds agree to float round-off (each span is
+measured against a clock advanced by whichever roots ran earlier on the
+same kernel instance, and that history differs between chunkings).
+
+Configurations with seeded fault injection or resilience transports are
+*not* dispatched here: their RNG streams advance across roots, so per-root
+results are history-dependent by design and only the sequential path
+reproduces them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+#: Per-benchmark state inherited by forked workers (never pickled).
+_SHARED: "_SharedState | None" = None
+
+
+@dataclass
+class _SharedState:
+    bfs: object  # constructed DistributedBFS (or compatible kernel)
+    graph: object  # shared symmetrised/deduplicated CSRGraph
+    edges: object  # raw EdgeList (TEPS accounting)
+    validate_mode: str  # "sequential" | "distributed" | "none"
+    validator: object | None  # DistributedValidator for "distributed"
+    counter_keys: tuple[str, ...]  # cluster stats to delta per root
+
+
+@dataclass
+class RootOutcome:
+    """Picklable per-root result shipped from a worker back to the parent."""
+
+    index: int
+    root: int
+    traversed_edges: int = 0
+    seconds: float = 0.0
+    levels: int = 0
+    validated: bool = True
+    failure: str | None = None
+    crash_reason: str | None = None
+    crash_node: int | None = None
+    validation_error: str | None = None
+    validation_seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker processes exist on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _execute_root(index: int, root: int) -> RootOutcome:
+    """Run kernel + validation + TEPS accounting for one root.
+
+    Shared by the sequential fallback and the forked workers; reads the
+    module-level :data:`_SHARED` state.
+    """
+    from repro.errors import SimulatedCrash
+    from repro.graph500.timing import traversed_edges
+    from repro.graph500.validate import validate_bfs_result
+
+    state = _SHARED
+    assert state is not None, "worker started without shared benchmark state"
+    before = {
+        key: state.bfs.cluster.stats.value(key) for key in state.counter_keys
+    }
+    try:
+        result = state.bfs.run(root)
+    except SimulatedCrash as crash:
+        return RootOutcome(
+            index=index,
+            root=root,
+            validated=False,
+            failure=f"crash: {crash.reason}",
+            crash_reason=crash.reason,
+            crash_node=crash.node,
+        )
+    outcome = RootOutcome(
+        index=index,
+        root=root,
+        seconds=result.sim_seconds,
+        levels=result.levels,
+    )
+    if state.validate_mode == "sequential":
+        try:
+            validate_bfs_result(state.graph, state.edges, root, result.parent)
+        except ValidationError as exc:
+            outcome.validated = False
+            outcome.failure = f"validation: {exc}"
+            outcome.validation_error = str(exc)
+    elif state.validate_mode == "distributed" and state.validator is not None:
+        vres = state.validator.validate(root, result.parent)
+        outcome.validation_seconds = vres.sim_seconds
+    outcome.traversed_edges = traversed_edges(state.edges, result.depths())
+    after = {
+        key: state.bfs.cluster.stats.value(key) for key in state.counter_keys
+    }
+    outcome.counters = {
+        key: after[key] - before[key]
+        for key in state.counter_keys
+        if after[key] != before[key]
+    }
+    return outcome
+
+
+def _worker_main(chunk: list[tuple[int, int]], queue) -> None:
+    """Forked worker body: run an assigned chunk of roots, ship outcomes."""
+    try:
+        outcomes = [_execute_root(index, root) for index, root in chunk]
+        queue.put(("ok", outcomes))
+    except BaseException as exc:  # pragma: no cover - defensive
+        import traceback
+
+        queue.put(("error", f"{exc!r}\n{traceback.format_exc()}"))
+
+
+def run_roots_parallel(
+    bfs,
+    graph,
+    edges,
+    roots,
+    validate_mode: str,
+    validator,
+    workers: int,
+    counter_keys: tuple[str, ...] = (),
+) -> list[RootOutcome]:
+    """Fan ``roots`` across ``workers`` forked processes; ordered outcomes.
+
+    The constructed ``bfs`` kernel, ``graph`` and ``edges`` are published to
+    a module global before forking so children inherit them at zero copy
+    cost — no pickling of graph-sized state in either direction. Worker
+    ``w`` statically owns roots ``w, w+workers, w+2*workers, ...``.
+    """
+    global _SHARED
+    if not fork_available():  # pragma: no cover - platform dependent
+        raise RuntimeError("parallel root execution requires os.fork")
+    tasks = [(i, int(root)) for i, root in enumerate(roots)]
+    workers = min(workers, len(tasks))
+    chunks = [tasks[w::workers] for w in range(workers)]
+    _SHARED = _SharedState(
+        bfs=bfs,
+        graph=graph,
+        edges=edges,
+        validate_mode=validate_mode,
+        validator=validator,
+        counter_keys=tuple(counter_keys),
+    )
+    ctx = mp.get_context("fork")
+    queue = ctx.SimpleQueue()
+    procs = [
+        ctx.Process(target=_worker_main, args=(chunk, queue), daemon=True)
+        for chunk in chunks
+    ]
+    try:
+        for proc in procs:
+            proc.start()
+        outcomes: list[RootOutcome] = []
+        for _ in procs:
+            status, payload = queue.get()
+            if status == "error":  # pragma: no cover - defensive
+                raise RuntimeError(f"parallel root worker failed: {payload}")
+            outcomes.extend(payload)
+        for proc in procs:
+            proc.join()
+    finally:
+        _SHARED = None
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+    return sorted(outcomes, key=lambda o: o.index)

@@ -5,6 +5,12 @@ distributed kernels' parent maps are validated structurally against the
 Graph500 rules *and* their implied depths are compared against this
 reference (any valid BFS tree has exactly these depths, even though parent
 choices may differ).
+
+All three routines here sit on the harness's validation hot path (once per
+search root), so they are written frontier-proportional: boolean-mask
+dedup instead of per-level sorts, and tree-edge gathers instead of
+whole-vertex-set rescans. Their results are bit-identical to the original
+sort-based implementations (first-writer-wins parent choice included).
 """
 
 from __future__ import annotations
@@ -19,20 +25,26 @@ def reference_bfs(graph: CSRGraph, root: int) -> np.ndarray:
     """Parent array: parent[root] = root, -1 for unreached vertices."""
     if not 0 <= root < graph.num_vertices:
         raise ConfigError(f"root {root} out of range")
-    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    n = graph.num_vertices
+    parent = np.full(n, -1, dtype=np.int64)
     parent[root] = root
+    visited = np.zeros(n, dtype=bool)
+    visited[root] = True
     frontier = np.array([root], dtype=np.int64)
     while len(frontier):
         sources, targets = graph.expand(frontier)
-        fresh = parent[targets] == -1
+        fresh = ~visited[targets]
         sources, targets = sources[fresh], targets[fresh]
         if len(targets) == 0:
             break
-        # First writer wins within a level: np.unique keeps the first
-        # occurrence index per target, making the result deterministic.
-        uniq_targets, first_idx = np.unique(targets, return_index=True)
-        parent[uniq_targets] = sources[first_idx]
-        frontier = uniq_targets
+        # First writer wins within a level: scatter in reverse order so the
+        # earliest occurrence of each target lands last — deterministic and
+        # identical to the historical np.unique(return_index=True) choice.
+        parent[targets[::-1]] = sources[::-1]
+        visited[targets] = True
+        next_mask = np.zeros(n, dtype=bool)
+        next_mask[targets] = True
+        frontier = np.flatnonzero(next_mask)
     return parent
 
 
@@ -40,17 +52,25 @@ def reference_depths(graph: CSRGraph, root: int) -> np.ndarray:
     """Depth array: 0 at the root, -1 for unreached vertices."""
     if not 0 <= root < graph.num_vertices:
         raise ConfigError(f"root {root} out of range")
-    depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+    n = graph.num_vertices
+    depth = np.full(n, -1, dtype=np.int64)
     depth[root] = 0
+    visited = np.zeros(n, dtype=bool)
+    visited[root] = True
     frontier = np.array([root], dtype=np.int64)
     level = 0
     while len(frontier):
         level += 1
         _, targets = graph.expand(frontier)
-        targets = targets[depth[targets] == -1]
+        targets = targets[~visited[targets]]
         if len(targets) == 0:
             break
-        frontier = np.unique(targets)
+        # Bitmap dedup: scatter into a mask and read the set bits back out
+        # (ascending, like the sort it replaces, without the O(m log m)).
+        next_mask = np.zeros(n, dtype=bool)
+        next_mask[targets] = True
+        frontier = np.flatnonzero(next_mask)
+        visited[frontier] = True
         depth[frontier] = level
     return depth
 
@@ -58,30 +78,44 @@ def reference_depths(graph: CSRGraph, root: int) -> np.ndarray:
 def depths_from_parents(parent: np.ndarray, root: int) -> np.ndarray:
     """Depths implied by a parent map (-1 where unreached).
 
-    Walks the tree by repeated parent-pointer relaxation; raises if the map
-    is not a tree rooted at ``root`` (a cycle never converges and is caught
-    by the iteration bound).
+    Builds the tree's child adjacency once (a stable counting sort by
+    parent) and breadth-first walks it from the root, so each vertex is
+    touched O(1) times instead of rescanned every level. Raises if the map
+    is not a tree rooted at ``root`` (vertices on parent cycles, or chains
+    that never reach the root, are exactly the ones the walk never visits).
     """
     parent = np.asarray(parent, dtype=np.int64)
     n = len(parent)
-    depth = np.full(n, -1, dtype=np.int64)
     if not 0 <= root < n or parent[root] != root:
         raise ConfigError("parent map is not rooted at the requested root")
+    depth = np.full(n, -1, dtype=np.int64)
     depth[root] = 0
-    frontier_mask = np.zeros(n, dtype=bool)
-    frontier_mask[root] = True
-    reached = parent >= 0
-    for level in range(1, n + 1):
-        # Vertices whose parent is in the current frontier get this depth.
-        candidates = reached & (depth == -1)
-        idx = np.flatnonzero(candidates)
-        if len(idx) == 0:
-            return depth
-        hit = frontier_mask[parent[idx]]
-        nxt = idx[hit]
-        if len(nxt) == 0:
-            raise ConfigError("parent map contains unreachable or cyclic chains")
-        depth[nxt] = level
-        frontier_mask = np.zeros(n, dtype=bool)
-        frontier_mask[nxt] = True
+    ids = np.arange(n, dtype=np.int64)
+    children = np.flatnonzero((parent >= 0) & (ids != root))
+    if len(children) == 0:
+        return depth
+    if int(parent[children].max()) >= n:
+        raise ConfigError("parent id out of range")
+    # Tree CSR: row u holds the vertices claiming u as parent.
+    order = np.argsort(parent[children], kind="stable")
+    child_sorted = children[order]
+    counts = np.bincount(parent[children], minlength=n)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        starts = row_ptr[frontier]
+        lengths = row_ptr[frontier + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        seg_base = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths
+        )
+        frontier = child_sorted[np.arange(total, dtype=np.int64) + seg_base]
+        depth[frontier] = level
+    if np.any(depth[children] < 0):
+        raise ConfigError("parent map contains unreachable or cyclic chains")
     return depth

@@ -4,6 +4,17 @@ Steps (Section 2.3): generate -> sample roots -> construct -> run kernel per
 root -> validate -> report. Wall-clock time is irrelevant here; *simulated*
 seconds from the machine/network models produce the TEPS figures.
 
+Construction is shared: the symmetrised deduplicated CSR is built once and
+threaded through both the kernel (``make_variant``) and the validator, so
+benchmark step (3) is paid a single time per run.
+
+Multi-root execution: the spec's 64 roots are independent, so
+``workers=N`` fans them across a fork-based process pool (see
+:mod:`repro.graph500.parallel`); ``workers=1`` keeps the exact sequential
+path. Configurations with fault injection or resilience transports always
+run sequentially — their seeded RNG streams advance across roots, and only
+the sequential order replays them.
+
 Resilience hooks: a :class:`~repro.resilience.config.ResilienceConfig`
 turns on the reliable transport and/or checkpointed recovery inside the
 kernel; ``fault_plan`` / ``node_faults`` install seeded fault injectors on
@@ -52,6 +63,7 @@ class Graph500Runner:
         fault_plan=None,
         node_faults=None,
         on_root_failure: str = "abort",
+        workers: int = 1,
     ):
         if nodes < 1:
             raise ConfigError(f"need at least one simulated node, got {nodes}")
@@ -78,6 +90,28 @@ class Graph500Runner:
                 f"on_root_failure must be skip/abort, got {on_root_failure!r}"
             )
         self.on_root_failure = on_root_failure
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    # ------------------------------------------------------------- dispatch --
+    def _effective_workers(self, num_roots: int) -> int:
+        """How many worker processes this configuration may actually use."""
+        if self.workers <= 1 or num_roots <= 1:
+            return 1
+        if (
+            self.fault_plan is not None
+            or self.node_faults is not None
+            or self.resilience is not None
+        ):
+            # Seeded fault/transport RNG streams advance across roots; only
+            # the sequential order replays them faithfully.
+            return 1
+        from repro.graph500.parallel import fork_available
+
+        if not fork_available():  # pragma: no cover - platform dependent
+            return 1
+        return min(self.workers, num_roots)
 
     def run(self, num_roots: int = 64) -> BenchmarkReport:
         # Step 1: generate the raw edge list.
@@ -89,8 +123,9 @@ class Graph500Runner:
         # Step 2: sample non-trivial search roots.
         roots = sample_roots(edges, num_roots, seed=self.seed)
 
-        # Step 3: construct search structures — the global CSR for
-        # validation and the distributed kernel state.
+        # Step 3: construct the search structure *once* — the symmetrised
+        # deduplicated CSR serves the validator and, threaded through
+        # ``make_variant``, the distributed kernel.
         graph = CSRGraph.from_edges(edges)
         from repro.baselines import make_variant  # late: heavy import chain
 
@@ -101,6 +136,7 @@ class Graph500Runner:
             config=self.config,
             nodes_per_super_node=self.nodes_per_super_node,
             resilience=self.resilience,
+            graph=graph,
         )
         # Fault injectors wrap the cluster's raw send path, *below* the
         # reliable channel (which intercepts delivery and sends through
@@ -132,7 +168,18 @@ class Graph500Runner:
                 nodes_per_super_node=self.nodes_per_super_node,
             )
 
-        # Steps 4-5: kernel + validation per root.
+        workers = self._effective_workers(num_roots)
+        if workers > 1:
+            self._run_parallel(report, bfs, graph, edges, roots, validator, workers)
+        else:
+            self._run_sequential(report, bfs, graph, edges, roots, validator)
+        return report
+
+    # ----------------------------------------------------------- sequential --
+    def _run_sequential(
+        self, report, bfs, graph, edges, roots, validator
+    ) -> None:
+        """Steps 4-5, one root after another on the shared kernel."""
         for root in np.asarray(roots):
             try:
                 result = bfs.run(int(root))
@@ -180,4 +227,53 @@ class Graph500Runner:
             value = bfs.cluster.stats.value(key)
             if value:
                 report.extra[key] = value
-        return report
+
+    # ------------------------------------------------------------- parallel --
+    def _run_parallel(
+        self, report, bfs, graph, edges, roots, validator, workers
+    ) -> None:
+        """Steps 4-5 fanned across forked workers, merged in root order."""
+        from repro.graph500.parallel import run_roots_parallel
+
+        construction_counters = {
+            key: bfs.cluster.stats.value(key) for key in _RESILIENCE_COUNTERS
+        }
+        outcomes = run_roots_parallel(
+            bfs,
+            graph,
+            edges,
+            np.asarray(roots),
+            self.validate,
+            validator,
+            workers,
+            counter_keys=_RESILIENCE_COUNTERS,
+        )
+        if self.on_root_failure == "abort":
+            for outcome in outcomes:
+                if outcome.crash_reason is not None:
+                    raise SimulatedCrash(
+                        outcome.crash_reason, node=outcome.crash_node
+                    )
+                if outcome.validation_error is not None:
+                    raise ValidationError(outcome.validation_error)
+        totals = dict(construction_counters)
+        validation_seconds = 0.0
+        for outcome in outcomes:
+            report.runs.append(
+                RootRun(
+                    root=outcome.root,
+                    traversed_edges=outcome.traversed_edges,
+                    seconds=outcome.seconds,
+                    levels=outcome.levels,
+                    validated=outcome.validated,
+                    failure=outcome.failure,
+                )
+            )
+            validation_seconds += outcome.validation_seconds
+            for key, delta in outcome.counters.items():
+                totals[key] = totals.get(key, 0) + delta
+        if validator is not None:
+            report.extra["validation_seconds"] = validation_seconds
+        for key in _RESILIENCE_COUNTERS:
+            if totals.get(key):
+                report.extra[key] = totals[key]

@@ -97,15 +97,12 @@ def validate_bfs_result(
             f"rule 4: vertex {bad} at depth {depth[bad]}, reference says {ref[bad]}"
         )
 
-    # Rule 5: claimed parent edges exist in the graph.
+    # Rule 5: claimed parent edges exist in the graph. Batched binary
+    # search over the sorted CSR rows — O(Σ log deg), versus the
+    # benchmark-dominating np.isin over the expanded adjacency.
     children = tree_children
     if len(children):
-        # Vectorised membership: expand the children's adjacency rows once
-        # and test each (child, parent) key against the edge-key set.
-        srcs, tgts = graph.expand(children)
-        edge_keys = srcs * np.int64(n) + tgts
-        query_keys = children * np.int64(n) + parent[children]
-        ok = np.isin(query_keys, edge_keys)
+        ok = graph.has_edges(children, parent[children])
         if not ok.all():
             bad = int(children[np.flatnonzero(~ok)[0]])
             raise ValidationError(

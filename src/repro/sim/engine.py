@@ -105,14 +105,31 @@ class Engine:
         self._running = True
         try:
             executed = 0
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
+            queue = self._queue
+            cancelled = self._cancelled
+            pop = heapq.heappop
+            while queue:
+                when = queue[0][0]
+                if until is not None and when > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
-                executed += 1
+                # Fast path: simultaneous events (message bursts at a level
+                # barrier) drain in one tight inner loop — the time-bound
+                # check above holds for the whole batch, so it is not
+                # re-evaluated per event.
+                while queue and queue[0][0] == when:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    _, seq, fn, args = pop(queue)
+                    if seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    self._now = when
+                    self._events_executed += 1
+                    executed += 1
+                    fn(*args)
             else:
                 if until is not None:
                     self._now = max(self._now, until)

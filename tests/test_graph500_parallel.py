@@ -1,0 +1,108 @@
+"""Multi-root parallel execution: parity, determinism, fallbacks."""
+
+import pytest
+
+from repro import Graph500Runner
+from repro.core import BFSConfig
+from repro.errors import ConfigError
+from repro.graph500.parallel import fork_available
+
+CFG = BFSConfig(hub_count_topdown=8, hub_count_bottomup=8)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel root execution requires os.fork"
+)
+
+
+def _assert_rows_match(seq, par, seconds_rel=1e-9):
+    assert len(seq.runs) == len(par.runs)
+    for a, b in zip(seq.runs, par.runs):
+        assert a.root == b.root
+        assert a.traversed_edges == b.traversed_edges
+        assert a.levels == b.levels
+        assert a.validated == b.validated
+        assert a.failure == b.failure
+        # Simulated seconds agree to round-off: the sequential path measures
+        # each span against a clock advanced by earlier roots.
+        assert b.seconds == pytest.approx(a.seconds, rel=seconds_rel)
+
+
+def test_workers_match_sequential_row_for_row():
+    kw = dict(scale=9, nodes=4, seed=3, config=CFG, nodes_per_super_node=2)
+    seq = Graph500Runner(**kw).run(num_roots=4)
+    par = Graph500Runner(workers=2, **kw).run(num_roots=4)
+    _assert_rows_match(seq, par)
+    assert par.all_validated
+    assert par.gteps == pytest.approx(seq.gteps, rel=1e-9)
+    assert set(par.extra) == set(seq.extra)
+
+
+def test_parallel_runs_are_deterministic():
+    kw = dict(scale=9, nodes=4, seed=3, config=CFG, workers=3)
+    r1 = Graph500Runner(**kw).run(num_roots=5)
+    r2 = Graph500Runner(**kw).run(num_roots=5)
+    for a, b in zip(r1.runs, r2.runs):
+        assert (a.root, a.traversed_edges, a.levels, a.seconds) == (
+            b.root, b.traversed_edges, b.levels, b.seconds
+        )
+
+
+def test_more_workers_than_roots():
+    kw = dict(scale=8, nodes=2, seed=1, config=CFG)
+    seq = Graph500Runner(**kw).run(num_roots=2)
+    par = Graph500Runner(workers=16, **kw).run(num_roots=2)
+    _assert_rows_match(seq, par)
+
+
+def test_single_root_stays_sequential():
+    runner = Graph500Runner(scale=8, nodes=2, config=CFG, workers=4)
+    assert runner._effective_workers(num_roots=1) == 1
+    report = runner.run(num_roots=1)
+    assert len(report.runs) == 1 and report.all_validated
+
+
+def test_fault_configs_fall_back_to_sequential():
+    from repro.sim.faults import RandomFaultPlan
+
+    plan = RandomFaultPlan(drop_rate=0.01, seed=5)
+    runner = Graph500Runner(
+        scale=8, nodes=2, config=CFG, workers=4, fault_plan=plan
+    )
+    assert runner._effective_workers(num_roots=4) == 1
+
+
+def test_resilience_configs_fall_back_to_sequential():
+    from repro.resilience.config import ResilienceConfig
+
+    runner = Graph500Runner(
+        scale=8, nodes=2, config=CFG, workers=4,
+        resilience=ResilienceConfig(reliable_transport=True),
+    )
+    assert runner._effective_workers(num_roots=4) == 1
+
+
+def test_parallel_distributed_validation():
+    kw = dict(scale=9, nodes=4, seed=3, config=CFG, validate="distributed")
+    seq = Graph500Runner(**kw).run(num_roots=3)
+    par = Graph500Runner(workers=2, **kw).run(num_roots=3)
+    _assert_rows_match(seq, par)
+    assert par.extra["validation_seconds"] == pytest.approx(
+        seq.extra["validation_seconds"], rel=1e-9
+    )
+
+
+def test_workers_validation():
+    with pytest.raises(ConfigError):
+        Graph500Runner(scale=8, nodes=2, workers=0)
+
+
+def test_cli_workers_flag(capsys):
+    from repro.cli import main
+
+    code = main(
+        ["graph500", "--scale", "8", "--nodes", "2", "--roots", "2",
+         "--workers", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "all validated" in out
