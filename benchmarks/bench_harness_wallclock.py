@@ -58,6 +58,8 @@ def time_phases(
     kernel = validate = 0.0
     total_edges = 0
     total_sim_seconds = 0.0
+    events_executed = None
+    messages_per_sec = None
     if workers > 1:
         from repro.graph500.parallel import run_roots_parallel
 
@@ -71,6 +73,11 @@ def time_phases(
             total_edges += o.traversed_edges
             total_sim_seconds += o.seconds
     else:
+        # In-process runs expose the engine and stats: record how many
+        # simulator events and messages the kernel phase chewed through
+        # (the fork-based workers path can't surface these counters).
+        events_before = bfs.engine.events_executed
+        messages_before = bfs.cluster.stats.value("messages")
         for root in root_list:
             t0 = time.perf_counter()
             result = bfs.run(root)
@@ -80,6 +87,9 @@ def time_phases(
             validate += time.perf_counter() - t0
             total_edges += traversed_edges(edges, result.depths())
             total_sim_seconds += result.sim_seconds
+        events_executed = bfs.engine.events_executed - events_before
+        messages = bfs.cluster.stats.value("messages") - messages_before
+        messages_per_sec = messages / kernel if kernel > 0 else 0.0
     phases["kernel"] = kernel
     phases["validate"] = validate
     phases["total"] = sum(phases.values())
@@ -89,6 +99,10 @@ def time_phases(
         "roots": roots,
         "workers": workers,
         "phases": {k: round(v, 4) for k, v in phases.items()},
+        "events_executed": events_executed,
+        "messages_per_sec": (
+            round(messages_per_sec, 1) if messages_per_sec is not None else None
+        ),
         "mean_teps": (
             total_edges / total_sim_seconds if total_sim_seconds else 0.0
         ),
@@ -150,8 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         results.append(entry)
         phases = " ".join(f"{k}={v:.3f}s" for k, v in entry["phases"].items())
+        extra = ""
+        if entry["events_executed"] is not None:
+            extra = (f" events={entry['events_executed']}"
+                     f" msg/s={entry['messages_per_sec']:.0f}")
         print(f"scale {scale} nodes {args.nodes} roots {args.roots} "
-              f"workers {args.workers}: {phases}")
+              f"workers {args.workers}: {phases}{extra}")
 
     payload = {
         "benchmark": "harness_wallclock",
@@ -196,6 +214,8 @@ def test_harness_wallclock_smoke(save_report):
     }
     assert entry["phases"]["total"] > 0
     assert entry["mean_teps"] > 0
+    assert entry["events_executed"] > 0
+    assert entry["messages_per_sec"] > 0
     save_report(
         "harness_wallclock_smoke",
         json.dumps(entry, indent=2),

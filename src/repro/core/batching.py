@@ -35,6 +35,10 @@ class GroupLayout:
             raise ConfigError(
                 f"group width {self.width} out of range [1, {self.num_nodes}]"
             )
+        # Per-source relay lookup rows (group index -> relay node), built
+        # lazily by relay_vectorised; not a dataclass field so eq/hash and
+        # frozenness are untouched.
+        object.__setattr__(self, "_relay_rows", {})
 
     @classmethod
     def for_topology(cls, num_nodes: int, nodes_per_super_node: int) -> "GroupLayout":
@@ -77,11 +81,15 @@ class GroupLayout:
         return g * self.width + member
 
     def relay_vectorised(self, src: int, dst: np.ndarray) -> np.ndarray:
-        dst = np.asarray(dst, dtype=np.int64)
-        g = dst // self.width
-        sizes = np.minimum(self.width, self.num_nodes - g * self.width)
-        member = self.member_of(src) % sizes
-        return g * self.width + member
+        """:meth:`relay_for` over a destination array: one cached lookup row
+        per source (indexed by destination group), then a single gather."""
+        row = self._relay_rows.get(src)
+        if row is None:
+            g = np.arange(self.num_groups, dtype=np.int64)
+            sizes = np.minimum(self.width, self.num_nodes - g * self.width)
+            row = g * self.width + self.member_of(src) % sizes
+            self._relay_rows[src] = row
+        return row[np.asarray(dst, dtype=np.int64) // self.width]
 
     # -- connection arithmetic (the Section 4.4 claims) -------------------------
     def column_peers(self, node: int) -> list[int]:

@@ -16,7 +16,9 @@ bookkeeping finish.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -82,8 +84,6 @@ class BFSResult:
     def to_json(self) -> str:
         """Serialise the run's traces and stats (not the parent array) for
         offline analysis — one record per level plus the run summary."""
-        import json
-
         return json.dumps(
             {
                 "root": self.root,
@@ -238,6 +238,8 @@ class DistributedBFS:
         self._hub_settled = 0
         self._recoveries = 0
         self._checkpoint_seconds = 0.0
+        #: node id -> its termination-marker peer list (config-fixed).
+        self._peer_cache: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------ setup --
     def _build_hub_adjacency(self) -> None:
@@ -317,14 +319,14 @@ class DistributedBFS:
 
     # ------------------------------------------------------------ message I/O --
     def _make_handler(self, state: NodeState):
-        def handler(msg: Message) -> None:
-            self._on_message(state, msg)
-
-        return handler
+        # functools.partial rather than a closure: it forwards to
+        # _on_message without an extra Python frame per message.
+        return partial(self._on_message, state)
 
     def _on_message(self, state: NodeState, msg: Message) -> None:
         ready = state.pipeline.submit_recv(msg.arrival_time)
-        self._mark(ready)
+        if ready > self._t_max:  # _mark, inlined on the per-message path
+            self._t_max = ready
         if msg.tag == "eol":
             return
         u, v = msg.payload
@@ -363,6 +365,26 @@ class DistributedBFS:
         else:
             self.cluster.send(src, dst, tag, nbytes, payload=payload, at_time=at_time)
 
+    def _cluster_send_batch(
+        self,
+        src: int,
+        dests: np.ndarray,
+        tag: str,
+        nbytes: np.ndarray,
+        payloads=None,
+        at_times=None,
+    ) -> None:
+        """Batched counterpart of :meth:`_cluster_send`: one call per module
+        execution instead of one per bucket, same routing rules."""
+        if self.channel is not None:
+            self.channel.send_batch(
+                src, dests, tag, nbytes, payloads=payloads, at_times=at_times
+            )
+        else:
+            self.cluster.send_batch(
+                src, dests, tag, nbytes, payloads=payloads, at_times=at_times
+            )
+
     def _message_bytes(self, n_records: int) -> int:
         payload = n_records * self.config.record_bytes / self.config.compression_ratio
         return self.config.header_bytes + int(payload)
@@ -395,6 +417,43 @@ class DistributedBFS:
             starts = np.concatenate(([0], boundaries))
             stops = np.concatenate((boundaries, [len(hops_sorted)]))
         n_buckets = len(starts)
+        if self.config.batch_messages:
+            starts_l, stops_l = starts.tolist(), stops.tolist()
+            cfg = self.config
+            if cfg.use_codec:
+                nbytes_l = [
+                    cfg.header_bytes + encoded_size(u[a:b], v[a:b])
+                    for a, b in zip(starts_l, stops_l)
+                ]
+            else:
+                # The same ops as _message_bytes per bucket: exact int
+                # product, one float division, truncation.
+                hb, rb = cfg.header_bytes, cfg.record_bytes
+                ratio = cfg.compression_ratio
+                nbytes_l = [
+                    hb + int((b - a) * rb / ratio)
+                    for a, b in zip(starts_l, stops_l)
+                ]
+            if n_buckets == 1:
+                # ready_fractions(1) without the array round trip — the
+                # identical float expression for fraction 1.0.
+                readies_l = [
+                    execution.start + 1.0 * (execution.finish - execution.start)
+                ]
+            else:
+                readies_l = execution.ready_fractions(n_buckets).tolist()
+            send_ats = state.pipeline.submit_send_many(readies_l)
+            self._mark(send_ats[-1])
+            self._cluster_send_batch(
+                state.node_id,
+                hops_sorted[starts].tolist(),
+                tag,
+                nbytes_l,
+                [(u[a:b], v[a:b]) for a, b in zip(starts_l, stops_l)],
+                send_ats,
+            )
+            self._records_sent += len(first_hops)
+            return
         for k, (a, b) in enumerate(zip(starts, stops)):
             dest = int(hops_sorted[a])
             count = b - a
@@ -424,9 +483,10 @@ class DistributedBFS:
         the group relay, per configuration."""
         me = state.node_id
         local = dest_nodes == me
-        if local.any():
+        n_local = int(np.count_nonzero(local))
+        if n_local:
             lu, lv = u[local], v[local]
-            nbytes = self._message_bytes(int(local.sum()))
+            nbytes = self._message_bytes(n_local)
             if kind == "fwd":
                 local_exec = state.pipeline.submit_module(
                     execution.finish, "forward_handler", nbytes
@@ -443,10 +503,13 @@ class DistributedBFS:
                     self._route_records(
                         state, local_exec, "fwd", mu, mv, self.owner[mv]
                     )
-        remote = ~local
-        if not remote.any():
+        if n_local == len(dest_nodes):
             return
-        ru, rv, rdest = u[remote], v[remote], dest_nodes[remote]
+        if n_local:
+            remote = ~local
+            ru, rv, rdest = u[remote], v[remote], dest_nodes[remote]
+        else:
+            ru, rv, rdest = u, v, dest_nodes
         if not self.config.use_relay:
             self._send_buckets(state, execution, kind, ru, rv, rdest)
             return
@@ -454,15 +517,18 @@ class DistributedBFS:
         # Records whose relay is this node (intra-group targets) or is the
         # destination itself skip straight to stage two.
         straight = (relays == me) | (relays == rdest)
-        if straight.any():
+        n_straight = int(np.count_nonzero(straight))
+        if n_straight == len(rdest):
+            self._send_buckets(state, execution, kind, ru, rv, rdest)
+            return
+        if n_straight:
             self._send_buckets(
                 state, execution, kind, ru[straight], rv[straight], rdest[straight]
             )
         hop = ~straight
-        if hop.any():
-            self._send_buckets(
-                state, execution, f"{kind}_relay", ru[hop], rv[hop], relays[hop]
-            )
+        self._send_buckets(
+            state, execution, f"{kind}_relay", ru[hop], rv[hop], relays[hop]
+        )
 
     def _send_stage_two(
         self, state: NodeState, execution, kind: str,
@@ -480,9 +546,10 @@ class DistributedBFS:
     ) -> None:
         me = state.node_id
         local = dest_nodes == me
-        if local.any():
+        n_local = int(np.count_nonzero(local))
+        if n_local:
             lu, lv = u[local], v[local]
-            nbytes = self._message_bytes(int(local.sum()))
+            nbytes = self._message_bytes(n_local)
             module = "forward_handler" if kind == "fwd" else "backward_handler"
             local_exec = state.pipeline.submit_module(execution.finish, module, nbytes)
             self._mark(local_exec.finish)
@@ -492,11 +559,15 @@ class DistributedBFS:
                 mu, mv = state.match_backward(lu, lv)
                 if len(mu):
                     self._route_records(state, local_exec, "fwd", mu, mv, self.owner[mv])
-        remote = ~local
-        if remote.any():
+        if n_local == len(dest_nodes):
+            return
+        if n_local:
+            remote = ~local
             self._send_buckets(
                 state, execution, kind, u[remote], v[remote], dest_nodes[remote]
             )
+        else:
+            self._send_buckets(state, execution, kind, u, v, dest_nodes)
 
     def _send_termination_markers(self, state: NodeState, t_ready: float) -> None:
         """Per-level end-of-transmission indicators (Section 3.3: "at least
@@ -504,14 +575,31 @@ class DistributedBFS:
         touches column + group peers — the N+M-2 connection set."""
         if self.num_nodes == 1:
             return
-        if self.config.use_relay:
-            peers = sorted(
-                set(self.groups.column_peers(state.node_id))
-                | set(self.groups.row_peers(state.node_id))
-            )
-        else:
-            peers = [p for p in range(self.num_nodes) if p != state.node_id]
+        peers = self._peer_cache.get(state.node_id)
+        if peers is None:
+            if self.config.use_relay:
+                peers = sorted(
+                    set(self.groups.column_peers(state.node_id))
+                    | set(self.groups.row_peers(state.node_id))
+                )
+            else:
+                peers = [p for p in range(self.num_nodes) if p != state.node_id]
+            self._peer_cache[state.node_id] = peers
         nbytes = self.config.header_bytes
+        if not peers:
+            return
+        if self.config.batch_messages:
+            send_ats = state.pipeline.submit_send_many([t_ready] * len(peers))
+            self._mark(send_ats[-1])
+            self._cluster_send_batch(
+                state.node_id,
+                peers,
+                "eol",
+                [nbytes] * len(peers),
+                None,
+                send_ats,
+            )
+            return
         for peer in peers:
             send_at = state.pipeline.submit_send(t_ready, nbytes)
             self._mark(send_at)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import BFSConfig
 from repro.errors import ConfigError
 from repro.machine.node import SunwayNode
@@ -43,6 +45,9 @@ REACTION_MODULES = frozenset(
 )
 DISPOSE_MODULES = frozenset(["forward_handler", "backward_handler", "hub_settle"])
 
+#: (1/n, 2/n, ..., n/n) per bucket count — tiny, heavily repeated arrays.
+_FRACTION_CACHE: dict[int, "np.ndarray"] = {}
+
 
 @dataclass
 class ModuleExecution:
@@ -61,6 +66,14 @@ class ModuleExecution:
             raise ConfigError(f"fraction {fraction} out of [0, 1]")
         return self.start + fraction * (self.finish - self.start)
 
+    def ready_fractions(self, n: int) -> "np.ndarray":
+        """``ready_fraction((k + 1) / n)`` for ``k in range(n)``, vectorised
+        (same IEEE operations element-wise, so values are bit-identical)."""
+        fractions = _FRACTION_CACHE.get(n)
+        if fractions is None:
+            fractions = _FRACTION_CACHE[n] = np.arange(1, n + 1) / n
+        return self.start + fractions * (self.finish - self.start)
+
 
 class NodePipeline:
     """Scheduler over one node's MPEs and CPE clusters."""
@@ -73,15 +86,31 @@ class NodePipeline:
         self.mpe_recv = Server(f"node{n}.M1")
         self.mpe_aux = [Server(f"node{n}.M2"), Server(f"node{n}.M3")]
         self.clusters = [Server(f"node{n}.C{i}") for i in range(node.num_clusters)]
+        self._overhead = node.spec.taihulight.message_overhead
+        # Service times are pure functions of (kind, nbytes); message sizes
+        # repeat heavily (markers, per-bucket records), so memoise them.
+        self._mpe_time_cache: dict[float, float] = {}
+        self._cluster_time_cache: dict[tuple[str, float], float] = {}
 
     # -- module execution ------------------------------------------------------
     def _mpe_service_time(self, nbytes: float) -> float:
         """MPE processing: record-granular random access (Figure 3 pricing)."""
-        return self.node.dma.mpe_transfer_time(
-            nbytes, chunk_bytes=self.config.record_bytes
-        )
+        cached = self._mpe_time_cache.get(nbytes)
+        if cached is None:
+            cached = self._mpe_time_cache[nbytes] = self.node.dma.mpe_transfer_time(
+                nbytes, chunk_bytes=self.config.record_bytes
+            )
+        return cached
 
     def _cluster_service_time(self, kind: str, nbytes: float) -> float:
+        cached = self._cluster_time_cache.get((kind, nbytes))
+        if cached is None:
+            cached = self._cluster_time_cache[(kind, nbytes)] = (
+                self._cluster_service_time_uncached(kind, nbytes)
+            )
+        return cached
+
+    def _cluster_service_time_uncached(self, kind: str, nbytes: float) -> float:
         cluster = self.node.cluster
         startup = cluster.module_startup_time()
         roles = self.config.roles
@@ -99,7 +128,16 @@ class NodePipeline:
         return startup + max(read, write)
 
     def _pick_aux_mpe(self, now: float) -> Server:
-        return min(self.mpe_aux, key=lambda s: s.earliest_start(now))
+        # min() over earliest_start with first-wins ties, unrolled for the
+        # two aux MPEs (this sits on the quick path of every message).
+        a, b = self.mpe_aux
+        ea = a.free_at
+        if ea < now:
+            ea = now
+        eb = b.free_at
+        if eb < now:
+            eb = now
+        return a if ea <= eb else b
 
     def submit_module(self, now: float, kind: str, nbytes: float) -> ModuleExecution:
         """Run one module execution of ``nbytes``; returns its schedule."""
@@ -124,15 +162,41 @@ class NodePipeline:
     # -- communication ------------------------------------------------------------
     def submit_send(self, ready: float, nbytes: float) -> float:
         """Charge M0's per-message software overhead; returns injection time."""
-        overhead = self.node.spec.taihulight.message_overhead
-        _, finish = self.mpe_send.admit(ready, overhead)
+        _, finish = self.mpe_send.admit(ready, self._overhead)
         return finish
 
+    def submit_send_many(self, readies: list[float]) -> list[float]:
+        """Charge M0's per-message overhead for a whole batch of sends.
+
+        FIFO-identical to calling :meth:`submit_send` once per element in
+        order (M0 is private to this node, so no other admission can
+        interleave a batch submitted synchronously); returns the per-message
+        injection times.
+        """
+        return self.mpe_send.admit_many(readies, self._overhead)
+
     def submit_recv(self, arrival: float) -> float:
-        """Charge M1's per-message overhead; returns handler-ready time."""
-        overhead = self.node.spec.taihulight.message_overhead
-        _, finish = self.mpe_recv.admit(arrival, overhead)
+        """Charge M1's per-message overhead; returns handler-ready time.
+
+        ``Server.admit`` unrolled in place — this runs once per received
+        message and M1 is private to the node, so the inline FIFO update
+        is the same recurrence without the call.
+        """
+        srv = self.mpe_recv
+        d = self._overhead
+        start = arrival if arrival > srv.free_at else srv.free_at
+        finish = start + d
+        srv.free_at = finish
+        srv.busy_time += d
+        srv.jobs += 1
+        if srv.intervals is not None:
+            srv.intervals.append((start, finish))
         return finish
+
+    def submit_recv_many(self, arrivals: list[float]) -> list[float]:
+        """Charge M1's overhead for a batch of arrivals (see
+        :meth:`submit_send_many`); returns the handler-ready times."""
+        return self.mpe_recv.admit_many(arrivals, self._overhead)
 
     # -- diagnostics -----------------------------------------------------------------
     def busy_times(self) -> dict[str, float]:

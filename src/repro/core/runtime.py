@@ -89,6 +89,8 @@ class NodeState:
         return self.lo <= v < self.hi
 
     def to_local(self, v: np.ndarray) -> np.ndarray:
+        if type(v) is np.ndarray and v.dtype == np.int64:
+            return v - self.lo
         return np.asarray(v, dtype=np.int64) - self.lo
 
     def to_global(self, v_local: np.ndarray) -> np.ndarray:
@@ -163,10 +165,14 @@ class NodeState:
         v_local, u = v_local[fresh], np.asarray(u, dtype=np.int64)[fresh]
         if v_local.size == 0:
             return 0
-        uniq, first = np.unique(v_local, return_index=True)
-        self.parent[uniq] = u[first]
-        self.next_mask[uniq] = True
-        return len(uniq)
+        # First-wins without the sort np.unique does: scatter in reverse so
+        # the earliest record per target lands last. Every fresh target had
+        # next_mask clear (parent < 0 means never settled), so the distinct
+        # count is the number of mask bits this batch flips on.
+        before = np.count_nonzero(self.next_mask)
+        self.parent[v_local[::-1]] = u[::-1]
+        self.next_mask[v_local] = True
+        return int(np.count_nonzero(self.next_mask)) - before
 
     def match_backward(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """BACKWARD_HANDLER: keep the queries whose ``u`` is in our frontier."""
@@ -196,10 +202,12 @@ class NodeState:
         slots, neighbours = slots[fresh], neighbours[fresh]
         if len(neighbours) == 0:
             return 0
-        uniq, first = np.unique(neighbours, return_index=True)
-        self.parent[uniq] = hub_ids[slots[first]]
-        self.next_mask[uniq] = True
-        return len(uniq)
+        # Same first-wins reverse scatter (and mask-delta count) as
+        # apply_forward.
+        before = np.count_nonzero(self.next_mask)
+        self.parent[neighbours[::-1]] = hub_ids[slots[::-1]]
+        self.next_mask[neighbours] = True
+        return int(np.count_nonzero(self.next_mask)) - before
 
     def hub_candidates(self, frontier_hub_slots: np.ndarray) -> int:
         """How many (hub, local vertex) pairs a hub-settle pass examines."""

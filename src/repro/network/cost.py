@@ -17,6 +17,8 @@ runtime, not here, because it depends on which MPE is free.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.machine.specs import MachineSpec, TAIHULIGHT
 from repro.network.links import Link
@@ -39,6 +41,8 @@ class NetworkModel:
         n_sn = topology.num_super_nodes
         self.uplink = [Link(f"uplink[{s}]", trunk_bw) for s in range(n_sn)]
         self.downlink = [Link(f"downlink[{s}]", trunk_bw) for s in range(n_sn)]
+        self.nic_bandwidth = float(nic_bw)
+        self.trunk_bandwidth = float(trunk_bw)
 
     # -- queries ----------------------------------------------------------------
     def latency(self, src: int, dst: int) -> float:
@@ -78,6 +82,89 @@ class NetworkModel:
         for link in self.links_on_route(src, dst):
             _, t = link.transfer(t, nbytes)
         return t + self.latency(src, dst)
+
+    # -- batched transfers --------------------------------------------------------
+    def price_batch(
+        self, src: int, dests: np.ndarray, nbytes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised pricing inputs for ``N`` sends from one source.
+
+        Returns ``(d_nic, d_trunk, latency, intra)``: per-message service
+        durations on a NIC and on a central trunk, the propagation latency,
+        and the intra-super-node mask. Inputs must be boundary-validated.
+        The per-message *admissions* are deliberately not computed here:
+        FIFO admission is an order-dependent ``max`` recurrence over shared
+        ``free_at`` state and must run in simulated-time order, interleaved
+        with every other sender's traffic, to stay exact.
+        """
+        t = self.spec.taihulight
+        sn = self.topology.super_ids
+        intra = sn[dests] == sn[src]
+        d_nic = nbytes / self.nic_bandwidth
+        d_trunk = nbytes / self.trunk_bandwidth
+        latency = np.where(
+            intra, t.intra_super_node_latency, t.inter_super_node_latency
+        )
+        return d_nic, d_trunk, latency, intra
+
+    def transfer_batch(
+        self,
+        src: int,
+        dests: np.ndarray,
+        nbytes: np.ndarray,
+        at_times: np.ndarray,
+    ) -> np.ndarray:
+        """Price ``N`` transfers from ``src`` in one call; returns arrivals.
+
+        Equivalent to calling :meth:`transfer` once per message in
+        simulated-time order (ties broken by batch position), but with the
+        per-message route classification, durations and latencies computed
+        vectorised up front. The FIFO admissions themselves stay a
+        sequential scan: ``start = max(now, free_at)`` chains through every
+        link's state, and reassociating that recurrence (e.g. a cumsum over
+        idle-free spans) changes float rounding — this path is pinned
+        bit-identical against the scalar one.
+
+        Precondition: between ``min(at_times)`` and the last arrival no
+        *other* traffic is admitted onto the touched links — the batch owns
+        its window. :class:`~repro.network.simmpi.SimCluster` therefore
+        defers admission to per-message injection events instead of calling
+        this; use this entry point for closed-form batch pricing (analysis,
+        collectives sized offline, microbenchmarks).
+        """
+        dests = np.asarray(dests, dtype=np.int64)
+        nbytes = np.asarray(nbytes)
+        at_times = np.asarray(at_times, dtype=np.float64)
+        if len(nbytes) and nbytes.min() < 0:
+            raise ConfigError(f"negative message size: {int(nbytes.min())}")
+        self.topology.check_node(src)
+        self.topology.check_nodes(dests)
+        d_nic, d_trunk, latency, intra = self.price_batch(src, dests, nbytes)
+        order = np.argsort(at_times, kind="stable")
+        arrivals = np.empty(len(dests), dtype=np.float64)
+        out = self.nic_out[src]
+        up = self.uplink[self.topology.super_node_of(src)]
+        nic_in, downlink = self.nic_in, self.downlink
+        sn_dst = self.topology.super_ids[dests]
+        for i in order.tolist():
+            dst = int(dests[i])
+            if dst == src:
+                arrivals[i] = at_times[i]
+                continue
+            nb, dn, dt = nbytes[i], d_nic[i], d_trunk[i]
+            if intra[i]:
+                route = ((out, dn), (nic_in[dst], dn))
+            else:
+                route = (
+                    (out, dn), (up, dt),
+                    (downlink[sn_dst[i]], dt), (nic_in[dst], dn),
+                )
+            t = at_times[i]
+            for link, d in route:
+                link.bytes_carried += nb
+                _, t = link.admit(t, d)
+            arrivals[i] = t + latency[i]
+        return arrivals
 
     # -- bookkeeping ----------------------------------------------------------------
     def reset(self) -> None:

@@ -150,6 +150,67 @@ class ReliableChannel:
         self.cluster.stats.counter("rt_messages").add()
         return self._transmit(seq, at_time)
 
+    def send_batch(
+        self,
+        src: int,
+        dests: np.ndarray,
+        tag: str,
+        nbytes: np.ndarray,
+        payloads: list[Any] | None = None,
+        at_times: np.ndarray | None = None,
+    ) -> list[Message]:
+        """Batched :meth:`send`: frame, register and transmit ``N`` data
+        messages with one ``cluster.send_batch`` underneath.
+
+        Per-message protocol state — sequence numbers, checksums, pending
+        entries, retransmit timers and their jitter draws — is created in
+        batch order, exactly the order ``N`` scalar sends would use, so
+        the jitter substream stays aligned and retransmission behaviour is
+        unchanged.
+        """
+        if tag == ACK_TAG:
+            raise ConfigError(f"tag {ACK_TAG!r} is reserved for the transport")
+        if type(dests) is not list:
+            dests = np.asarray(dests, dtype=np.int64).tolist()
+        if type(nbytes) is not list:
+            nbytes = np.asarray(nbytes, dtype=np.int64).tolist()
+        n = len(dests)
+        if len(nbytes) != n or (payloads is not None and len(payloads) != n):
+            raise ConfigError("send_batch arrays must have equal lengths")
+        if n == 0:
+            return []
+        seq0 = self._next_seq
+        envelopes = []
+        for i, (dst, nb) in enumerate(zip(dests, nbytes)):
+            payload = None if payloads is None else payloads[i]
+            seq = self._next_seq
+            self._next_seq += 1
+            envelope = Envelope(seq, payload_checksum(payload), payload)
+            self._pending[seq] = _Pending(src, dst, tag, nb, envelope)
+            envelopes.append(envelope)
+        self.cluster.stats.counter("rt_messages").add(n)
+        msgs = self.cluster.send_batch(
+            src, dests, tag, nbytes, payloads=envelopes, at_times=at_times
+        )
+        if at_times is None:
+            bases = [self.engine.now] * n
+        elif type(at_times) is list:
+            bases = at_times
+        else:
+            bases = np.asarray(at_times, dtype=np.float64).tolist()
+        for i in range(n):
+            seq = seq0 + i
+            pending = self._pending[seq]
+            timeout = (
+                self.config.ack_timeout
+                * self.config.backoff_factor ** pending.attempt
+            )
+            timeout *= 1.0 + self.config.jitter_fraction * float(self._rng.random())
+            pending.timer = self.engine.call_at(
+                bases[i] + timeout, self._on_timeout, seq, pending.attempt
+            )
+        return msgs
+
     def _transmit(self, seq: int, at_time: float | None = None) -> Message:
         pending = self._pending[seq]
         msg = self.cluster.send(

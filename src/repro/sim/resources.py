@@ -45,6 +45,34 @@ class Server:
             self.intervals.append((start, finish))
         return start, finish
 
+    def admit_many(self, times: list[float], duration: float) -> list[float]:
+        """FIFO-admit one fixed-``duration`` job per arrival time; returns
+        the finish times.
+
+        Exactly :meth:`admit` called once per element in order — the
+        ``max`` recurrence over ``free_at`` is order-dependent in floating
+        point, so it stays a sequential scan — with the per-call attribute
+        and bookkeeping overhead paid once per batch.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service time: {duration!r}")
+        finishes = []
+        append = finishes.append
+        free = self.free_at
+        busy = self.busy_time
+        intervals = self.intervals
+        for now in times:
+            start = now if now > free else free
+            free = start + duration
+            busy += duration
+            append(free)
+            if intervals is not None:
+                intervals.append((start, free))
+        self.free_at = free
+        self.busy_time = busy
+        self.jobs += len(times)
+        return finishes
+
     def earliest_start(self, now: float) -> float:
         """When a job arriving at ``now`` would begin service."""
         return max(now, self.free_at)

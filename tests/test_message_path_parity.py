@@ -1,0 +1,334 @@
+"""Parity tests pinning the batched message path to the scalar one.
+
+The vectorized message path (``SimCluster.send_batch`` and everything the
+driver stacks on top of it) promises *bit-identical* behaviour to the
+scalar sends it replaces: same arrival times, same parents, same stats.
+The scalar path stays in the tree as the executable specification; these
+tests hold the two together — on the cluster primitive, on the network
+pricing, on the pipeline servers, on the reliable transport, and on full
+traversals across every configuration axis the driver can take
+(mirroring the style of ``tests/test_validator_parity.py``).
+
+Float discipline: every comparison of times here is exact equality, not
+approx. The batch path is only allowed vectorization where the IEEE
+operations are order-independent; any reassociation would show up as a
+failed ``==`` long before it showed up as a wrong traversal.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines.variants import variant_config
+from repro.core.bfs import DistributedBFS
+from repro.core.pipeline import ModuleExecution
+from repro.errors import ConfigError, SimulationError
+from repro.graph.kronecker import KroneckerGenerator
+from repro.machine.specs import TAIHULIGHT
+from repro.network.cost import NetworkModel
+from repro.network.simmpi import SimCluster
+from repro.network.topology import FatTreeTopology
+from repro.resilience.channel import ReliableChannel
+from repro.resilience.config import ResilienceConfig
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.resources import Server
+
+
+# --- driver-level parity: whole traversals, batched vs scalar ---------------
+def _edges(scale=9, seed=3):
+    return KroneckerGenerator(scale=scale, seed=seed).generate()
+
+
+def _run_both(variant, nodes, overrides=None, resilience=None, roots=(1, 5)):
+    """One traversal set per mode; returns [(results, stats_snapshot), ...]."""
+    edges = _edges()
+    out = []
+    for batch in (False, True):
+        cfg = replace(
+            variant_config(variant), batch_messages=batch, **(overrides or {})
+        )
+        bfs = DistributedBFS(edges, nodes, config=cfg, resilience=resilience)
+        results = [bfs.run(r) for r in roots]
+        out.append((results, bfs.cluster.stats.snapshot()))
+    return out
+
+
+def _assert_identical(scalar, batched):
+    (res_s, stats_s), (res_b, stats_b) = scalar, batched
+    for a, b in zip(res_s, res_b):
+        assert np.array_equal(a.parent, b.parent)
+        assert a.levels == b.levels
+        assert a.sim_seconds == b.sim_seconds  # exact, not approx
+        assert a.stats == b.stats
+    assert stats_s == stats_b
+
+
+@pytest.mark.parametrize(
+    "variant", ["relay-cpe", "direct-cpe", "relay-mpe", "direct-mpe"]
+)
+def test_traversal_parity_across_variants(variant):
+    scalar, batched = _run_both(variant, nodes=8)
+    _assert_identical(scalar, batched)
+
+
+def test_traversal_parity_with_codec():
+    scalar, batched = _run_both("relay-cpe", nodes=8, overrides={"use_codec": True})
+    _assert_identical(scalar, batched)
+
+
+def test_traversal_parity_single_node():
+    scalar, batched = _run_both("relay-cpe", nodes=1)
+    _assert_identical(scalar, batched)
+
+
+def test_traversal_parity_reliable_transport():
+    res = ResilienceConfig(reliable_transport=True)
+    scalar, batched = _run_both("relay-cpe", nodes=8, resilience=res)
+    _assert_identical(scalar, batched)
+
+
+def test_traversal_parity_reliable_transport_with_checkpoints():
+    res = ResilienceConfig(reliable_transport=True, checkpoint_interval=2)
+    scalar, batched = _run_both("relay-cpe", nodes=8, resilience=res)
+    _assert_identical(scalar, batched)
+
+
+def test_traversal_parity_under_fault_injector():
+    """An installed interceptor owns the send path: the batch API must
+    degrade to per-message sends through it, so fault ordinals line up."""
+    edges = _edges()
+    outcomes = []
+    for batch in (False, True):
+        cfg = replace(variant_config("relay-cpe"), batch_messages=batch)
+        bfs = DistributedBFS(edges, 8, config=cfg)
+        plan = FaultPlan(drop={5, 17}, duplicate={9}, tag_prefix="fwd")
+        with FaultInjector(bfs.cluster, plan) as injector:
+            result = bfs.run(1)
+            outcomes.append(
+                (
+                    result.parent.copy(),
+                    result.sim_seconds,
+                    injector.matched,
+                    injector.dropped,
+                    injector.duplicated,
+                )
+            )
+    a, b = outcomes
+    assert np.array_equal(a[0], b[0])
+    assert a[1:] == b[1:]
+
+
+# --- cluster-level parity: send_batch vs N sends -----------------------------
+def _collecting_cluster(num_nodes=16, nps=4):
+    engine = Engine()
+    cluster = SimCluster(engine, num_nodes, nodes_per_super_node=nps)
+    deliveries = []
+    for rank in range(num_nodes):
+        cluster.register(
+            rank,
+            lambda msg: deliveries.append(
+                (msg.src, msg.dst, msg.tag, msg.nbytes, msg.arrival_time)
+            ),
+        )
+    return engine, cluster, deliveries
+
+
+def _mixed_batch():
+    # Self-send, intra-super-node, and inter-super-node targets mixed,
+    # with staggered (and tied) injection times.
+    dests = [0, 1, 5, 9, 2, 13, 0, 7]
+    nbytes = [64, 4096, 128, 65536, 0, 1024, 256, 4096]
+    at_times = [0.0, 0.0, 1e-6, 1e-6, 2e-6, 2e-6, 2e-6, 5e-6]
+    return dests, nbytes, at_times
+
+
+def test_send_batch_matches_scalar_sends_exactly():
+    dests, nbytes, ats = _mixed_batch()
+    eng_s, clu_s, del_s = _collecting_cluster()
+    for d, nb, at in zip(dests, nbytes, ats):
+        clu_s.send(0, d, "t", nb, at_time=at)
+    eng_s.run()
+    eng_b, clu_b, del_b = _collecting_cluster()
+    clu_b.send_batch(0, dests, "t", nbytes, at_times=ats)
+    eng_b.run()
+    assert del_s == del_b  # same order, same exact arrival floats
+    assert clu_s.stats.snapshot() == clu_b.stats.snapshot()
+    assert eng_s.now == eng_b.now
+    # Link-server state is part of the contract: later traffic sees it.
+    for ls, lb in zip(
+        (clu_s.network.nic_out[0], clu_s.network.uplink[0]),
+        (clu_b.network.nic_out[0], clu_b.network.uplink[0]),
+    ):
+        assert ls.free_at == lb.free_at
+        assert ls.busy_time == lb.busy_time
+        assert ls.bytes_carried == lb.bytes_carried
+        assert ls.jobs == lb.jobs
+
+
+def test_send_batch_vector_branch_matches_scalar():
+    """Wide fan-outs (>= the vector threshold) take the numpy pricing
+    branch; it must be as exact as the small-batch Python loop."""
+    num_nodes = 48
+    dests = [d for d in range(num_nodes) if d != 3] + [3, 3]  # 49 >= 32
+    nbytes = [256 + 13 * i for i in range(len(dests))]
+    ats = [1e-7 * (i % 5) for i in range(len(dests))]
+    eng_s, clu_s, del_s = _collecting_cluster(num_nodes=num_nodes, nps=8)
+    for d, nb, at in zip(dests, nbytes, ats):
+        clu_s.send(3, d, "t", nb, at_time=at)
+    eng_s.run()
+    eng_b, clu_b, del_b = _collecting_cluster(num_nodes=num_nodes, nps=8)
+    clu_b.send_batch(3, dests, "t", nbytes, at_times=ats)
+    eng_b.run()
+    assert del_s == del_b
+    assert clu_s.stats.snapshot() == clu_b.stats.snapshot()
+
+
+def test_send_batch_accepts_lists_and_arrays_identically():
+    dests, nbytes, ats = _mixed_batch()
+    eng_a, clu_a, del_a = _collecting_cluster()
+    clu_a.send_batch(
+        0,
+        np.asarray(dests, dtype=np.int64),
+        "t",
+        np.asarray(nbytes, dtype=np.int64),
+        at_times=np.asarray(ats),
+    )
+    eng_a.run()
+    eng_l, clu_l, del_l = _collecting_cluster()
+    clu_l.send_batch(0, dests, "t", nbytes, at_times=ats)
+    eng_l.run()
+    assert del_a == del_l
+    assert clu_a.stats.snapshot() == clu_l.stats.snapshot()
+
+
+def test_send_batch_interleaves_with_other_senders_like_scalar():
+    """Batched traffic shares FIFO links with scalar traffic from another
+    node; admission order (and therefore every arrival) must not depend on
+    which API injected the messages."""
+    dests = [9, 10, 11]
+    nbytes = [8192, 8192, 8192]
+    ats = [0.0, 0.0, 0.0]
+    eng_s, clu_s, del_s = _collecting_cluster()
+    for d, nb, at in zip(dests, nbytes, ats):
+        clu_s.send(0, d, "t", nb, at_time=at)
+    clu_s.send(1, 9, "x", 50000, at_time=0.0)  # contends on 9's NIC-in
+    eng_s.run()
+    eng_b, clu_b, del_b = _collecting_cluster()
+    clu_b.send_batch(0, dests, "t", nbytes, at_times=ats)
+    clu_b.send(1, 9, "x", 50000, at_time=0.0)
+    eng_b.run()
+    assert del_s == del_b
+
+
+def test_send_batch_payloads_and_empty_batch():
+    eng, clu, deliveries = _collecting_cluster()
+    assert clu.send_batch(0, [], "t", []) == []
+    msgs = clu.send_batch(0, [1, 2], "t", [8, 8], payloads=["a", "b"])
+    assert [m.payload for m in msgs] == ["a", "b"]
+    eng.run()
+    assert len(deliveries) == 2
+
+
+def test_send_batch_rejects_bad_inputs():
+    eng, clu, _ = _collecting_cluster()
+    with pytest.raises(ConfigError, match="equal lengths"):
+        clu.send_batch(0, [1, 2], "t", [8])
+    with pytest.raises(ConfigError, match="equal lengths"):
+        clu.send_batch(0, [1, 2], "t", [8, 8], at_times=[0.0])
+    with pytest.raises(ConfigError, match="negative message size"):
+        clu.send_batch(0, [1, 2], "t", [8, -1])
+    with pytest.raises(ConfigError):
+        clu.send_batch(0, [1, 99], "t", [8, 8])  # dest out of range
+    eng.call_at(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError, match="past"):
+        clu.send_batch(0, [1], "t", [8], at_times=[0.5])
+
+
+# --- network-model parity: transfer_batch vs sequential transfers ------------
+def test_transfer_batch_matches_sequential_transfers():
+    topo = FatTreeTopology(num_nodes=16, nodes_per_super_node=4)
+    net_s = NetworkModel(topo, TAIHULIGHT)
+    net_b = NetworkModel(topo, TAIHULIGHT)
+    dests = np.array([0, 1, 5, 9, 2, 13, 7], dtype=np.int64)
+    nbytes = np.array([64, 4096, 128, 65536, 0, 1024, 4096], dtype=np.int64)
+    ats = np.array([0.0, 0.0, 1e-6, 1e-6, 2e-6, 2e-6, 5e-6])
+    order = np.argsort(ats, kind="stable")
+    expected = np.empty(len(dests))
+    for i in order.tolist():
+        expected[i] = net_s.transfer(0, int(dests[i]), int(nbytes[i]), float(ats[i]))
+    got = net_b.transfer_batch(0, dests, nbytes, ats)
+    assert np.array_equal(got, expected)  # bitwise: no reassociation allowed
+    for link_s, link_b in zip(
+        (net_s.nic_out[0], net_s.uplink[0], net_s.nic_in[9], net_s.downlink[2]),
+        (net_b.nic_out[0], net_b.uplink[0], net_b.nic_in[9], net_b.downlink[2]),
+    ):
+        assert link_s.free_at == link_b.free_at
+        assert link_s.busy_time == link_b.busy_time
+
+
+# --- pipeline/server parity: the batched admission helpers -------------------
+def test_admit_many_matches_sequential_admits():
+    a, b = Server("a"), Server("b")
+    times = [0.0, 1e-6, 1e-6, 5e-7, 9e-6]
+    finishes = []
+    for t in times:
+        _, fin = a.admit(t, 2e-6)
+        finishes.append(fin)
+    assert b.admit_many(times, 2e-6) == finishes
+    assert a.free_at == b.free_at
+    assert a.busy_time == b.busy_time
+    assert a.jobs == b.jobs
+
+
+def test_ready_fractions_matches_scalar_ready_fraction():
+    ex = ModuleExecution("forward_generator", 1e-4, 7e-4, "cluster:0", 4096.0)
+    for n in (1, 2, 3, 7, 16):
+        got = ex.ready_fractions(n)
+        expected = [ex.ready_fraction((k + 1) / n) for k in range(n)]
+        assert got.tolist() == expected
+    # The driver's single-bucket fast path uses this exact expression:
+    assert ex.start + 1.0 * (ex.finish - ex.start) == ex.ready_fraction(1.0)
+
+
+# --- reliable-transport parity: channel batch vs scalar ----------------------
+def test_channel_send_batch_matches_scalar_channel_sends():
+    outcomes = []
+    for use_batch in (False, True):
+        eng, clu, deliveries = _collecting_cluster()
+        channel = ReliableChannel(clu, ResilienceConfig(reliable_transport=True))
+        dests, nbytes, ats = _mixed_batch()
+        dests = [d for d in dests if d != 0] or [1]
+        n = len(dests)
+        if use_batch:
+            channel.send_batch(0, dests, "t", nbytes[:n], at_times=ats[:n])
+        else:
+            for d, nb, at in zip(dests, nbytes[:n], ats[:n]):
+                channel.send(0, d, "t", nb, at_time=at)
+        eng.run()
+        outcomes.append((deliveries, clu.stats.snapshot(), channel.in_flight))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_channel_send_batch_rejects_reserved_tag():
+    _, clu, _ = _collecting_cluster()
+    channel = ReliableChannel(clu, ResilienceConfig(reliable_transport=True))
+    with pytest.raises(ConfigError, match="reserved"):
+        channel.send_batch(0, [1], "ack", [8])
+
+
+# --- engine parity: schedule_batch vs call_at --------------------------------
+def test_schedule_batch_matches_sequential_call_at():
+    ran_a, ran_b = [], []
+    eng_a, eng_b = Engine(), Engine()
+    whens = [3e-6, 1e-6, 1e-6, 2e-6]
+    for i, w in enumerate(whens):
+        eng_a.call_at(w, ran_a.append, i)
+    handles = eng_b.schedule_batch(whens, ran_b.append, [(i,) for i in range(4)])
+    assert list(handles) == [0, 1, 2, 3]  # contiguous, same as call_at's
+    eng_a.run()
+    eng_b.run()
+    assert ran_a == ran_b  # identical tie-breaking
+    assert eng_a.now == eng_b.now
