@@ -89,6 +89,54 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
     return 0 if report.all_validated else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profiled benchmark run: spans + metrics + critical-path report."""
+    import json
+    import pathlib
+
+    from repro.graph500.runner import Graph500Runner
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import summary_csv, summary_markdown
+    from repro.telemetry.profile import build_run_report
+
+    tel = Telemetry()
+    runner = Graph500Runner(
+        scale=args.scale,
+        nodes=args.nodes,
+        seed=args.seed,
+        variant=args.variant,
+        validate=not args.no_validate,
+        workers=1,  # full kernel instrumentation needs the sequential path
+        telemetry=tel,
+    )
+    report = runner.run(num_roots=args.roots)
+    run_doc = build_run_report(tel, json.loads(report.to_json()))
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "trace.json").write_text(tel.chrome_trace())
+    (out_dir / "run_report.json").write_text(json.dumps(run_doc, indent=2))
+    (out_dir / "summary.csv").write_text(summary_csv(run_doc))
+    (out_dir / "summary.md").write_text(summary_markdown(run_doc))
+
+    print(report.summary())
+    print()
+    critical = tel.critical_path()
+    print(critical.level_table())
+    print()
+    print(critical.resource_table())
+    check = run_doc["attribution_check"]
+    print()
+    print(
+        f"attribution check: worst error "
+        f"{100 * check['worst_relative_error']:.4f}% of sim_seconds "
+        f"(within 1%: {check['within_1pct']})"
+    )
+    for name in ("trace.json", "run_report.json", "summary.csv", "summary.md"):
+        print(f"wrote {out_dir / name}")
+    return 0 if check["within_1pct"] else 1
+
+
 def _cmd_fig11(args: argparse.Namespace) -> int:
     from repro.perf.scaling import FIG11_NODE_COUNTS, FIG11_VARIANTS, ScalingModel
 
@@ -292,6 +340,21 @@ def build_parser() -> argparse.ArgumentParser:
                      default="abort",
                      help="skip: record a failed root and keep benchmarking")
     p.set_defaults(func=_cmd_graph500)
+
+    p = sub.add_parser(
+        "profile",
+        help="profiled benchmark run: Chrome trace, run report, summaries",
+    )
+    p.add_argument("--scale", type=int, default=13)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--roots", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--variant", default="relay-cpe")
+    p.add_argument("--no-validate", action="store_true")
+    p.add_argument("--out", default="profile",
+                   help="directory for trace.json / run_report.json / "
+                        "summary.csv / summary.md")
+    p.set_defaults(func=_cmd_profile)
 
     sub.add_parser("fig11", help="modelled Figure 11 sweep").set_defaults(
         func=_cmd_fig11

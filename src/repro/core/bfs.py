@@ -121,6 +121,7 @@ class DistributedBFS:
         nodes_per_super_node: int | None = None,
         resilience: ResilienceConfig | None = None,
         graph: CSRGraph | None = None,
+        telemetry=None,
     ):
         self.config = config or BFSConfig()
         self.resilience = resilience or ResilienceConfig()
@@ -241,6 +242,14 @@ class DistributedBFS:
         #: node id -> its termination-marker peer list (config-fixed).
         self._peer_cache: dict[int, list[int]] = {}
 
+        # --- observability -------------------------------------------------------
+        #: Optional :class:`repro.telemetry.Telemetry`; set by
+        #: ``Telemetry.attach_kernel`` (a disabled telemetry leaves it None,
+        #: so every hook below costs one attribute check).
+        self.telemetry = None
+        if telemetry is not None:
+            telemetry.attach_kernel(self)
+
     # ------------------------------------------------------------------ setup --
     def _build_hub_adjacency(self) -> None:
         """Per node: CSR from hub slot -> local indices of its neighbours."""
@@ -297,16 +306,19 @@ class DistributedBFS:
             yield from (pl.mpe_send, pl.mpe_recv, *pl.mpe_aux, *pl.clusters)
 
     def enable_tracing(self) -> None:
-        """Record every server's busy intervals for trace export."""
-        from repro.utils.trace import enable_tracing
+        """Record busy intervals (servers and links) for trace export."""
+        from repro.telemetry.export import enable_tracing
 
         enable_tracing(self._all_servers())
+        enable_tracing(self.cluster.network.all_links())
 
     def export_trace(self) -> str:
         """Chrome-trace JSON of all recorded busy intervals."""
-        from repro.utils.trace import collect_intervals, to_chrome_trace
+        from repro.telemetry.export import collect_intervals, to_chrome_trace
 
-        return to_chrome_trace(collect_intervals(self._all_servers()))
+        intervals = collect_intervals(self._all_servers())
+        intervals.update(collect_intervals(self.cluster.network.all_links()))
+        return to_chrome_trace(intervals)
 
     def utilization_by_unit_kind(self) -> dict[str, float]:
         """Mean utilisation aggregated over nodes: M0/M1/M2/M3/C0..C3."""
@@ -453,6 +465,13 @@ class DistributedBFS:
                 send_ats,
             )
             self._records_sent += len(first_hops)
+            tel = self.telemetry
+            if tel is not None:
+                tel.spans.record(
+                    "message-batch", "batch", readies_l[0], send_ats[-1],
+                    parent=tel.current, tag=tag, buckets=n_buckets,
+                    records=len(first_hops), node=state.node_id,
+                )
             return
         for k, (a, b) in enumerate(zip(starts, stops)):
             dest = int(hops_sorted[a])
@@ -469,6 +488,16 @@ class DistributedBFS:
                 payload=(u[a:b], v[a:b]), at_time=send_at,
             )
             self._records_sent += count
+        tel = self.telemetry
+        if tel is not None:
+            # Same window the batched branch records: first ready fraction
+            # to last injection (bit-identical expressions on both paths).
+            tel.spans.record(
+                "message-batch", "batch",
+                execution.ready_fraction(1 / n_buckets), send_at,
+                parent=tel.current, tag=tag, buckets=n_buckets,
+                records=len(first_hops), node=state.node_id,
+            )
 
     def _route_records(
         self,
@@ -817,6 +846,13 @@ class DistributedBFS:
         # Start after every leftover job from a previous root has drained so
         # per-root durations never overlap.
         t_run_start = max(self.engine.now, self._t_max)
+        tel = self.telemetry
+        root_span = -1
+        if tel is not None:
+            root_span = tel.spans.open(
+                f"root {root}", "root", parent=tel.current, root=root
+            )
+            tel.push(root_span)
         self._t_max = t_run_start
         self._records_sent = 0
         self._hub_settled = 0
@@ -851,6 +887,17 @@ class DistributedBFS:
             )
             t0 = self._t_max + control
             self._mark(t0)
+            level_span = -1
+            if tel is not None:
+                level_span = tel.spans.open(
+                    f"level {level}",
+                    "level",
+                    parent=tel.current,
+                    level=level,
+                    direction=direction.value,
+                    frontier=n_f,
+                )
+                tel.push(level_span)
             records_before_level = self._records_sent
             hub_before = self._hub_settled
             msgs_before_level = self.cluster.stats.value("messages")
@@ -879,6 +926,11 @@ class DistributedBFS:
                     finish=self._t_max,
                 )
             )
+            if tel is not None:
+                # Closed here so the recovery ``continue`` below still
+                # balances the span stack.
+                tel.spans.close(level_span, t0, self._t_max)
+                tel.pop()
 
             # The barrier is also the failure-detection point: a crash event
             # may have fired (and advanced the engine clock) mid-drain.
@@ -943,4 +995,13 @@ class DistributedBFS:
             traces=traces,
             stats=stats,
         )
+        if tel is not None:
+            tel.spans.close(
+                root_span,
+                t_run_start,
+                self._t_max,
+                sim_seconds=result.sim_seconds,
+                levels=level,
+            )
+            tel.pop()
         return result

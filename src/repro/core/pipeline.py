@@ -91,6 +91,9 @@ class NodePipeline:
         # repeat heavily (markers, per-bucket records), so memoise them.
         self._mpe_time_cache: dict[float, float] = {}
         self._cluster_time_cache: dict[tuple[str, float], float] = {}
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, every
+        #: module execution records a span and labeled counters.
+        self.telemetry = None
 
     # -- module execution ------------------------------------------------------
     def _mpe_service_time(self, nbytes: float) -> float:
@@ -148,16 +151,38 @@ class NodePipeline:
         if not self.config.use_cpe_clusters:
             server = self._pick_aux_mpe(now)
             start, finish = server.admit(now, self._mpe_service_time(nbytes))
-            return ModuleExecution(kind, start, finish, server.name, nbytes)
-        if nbytes <= self.config.quick_path_threshold:
+        elif nbytes <= self.config.quick_path_threshold:
             # Quick path (Section 5): tiny inputs aren't worth a cluster
             # notification round trip.
             server = self._pick_aux_mpe(now)
             start, finish = server.admit(now, self._mpe_service_time(nbytes))
-            return ModuleExecution(kind, start, finish, server.name, nbytes)
-        server = self.clusters[MODULE_CLUSTER[kind]]
-        start, finish = server.admit(now, self._cluster_service_time(kind, nbytes))
-        return ModuleExecution(kind, start, finish, server.name, nbytes)
+        else:
+            server = self.clusters[MODULE_CLUSTER[kind]]
+            start, finish = server.admit(now, self._cluster_service_time(kind, nbytes))
+        execution = ModuleExecution(kind, start, finish, server.name, nbytes)
+        tel = self.telemetry
+        if tel is not None:
+            self._record_module(tel, execution)
+        return execution
+
+    def _record_module(self, tel, execution: ModuleExecution) -> None:
+        node = f"node{self.node.node_id}"
+        tel.spans.record(
+            execution.kind,
+            "module",
+            execution.start,
+            execution.finish,
+            parent=tel.current,
+            node=node,
+            where=execution.where,
+            nbytes=execution.nbytes,
+        )
+        tel.metrics.counter(
+            "module_executions", module=execution.kind, node=node
+        ).add(1)
+        tel.metrics.counter(
+            "module_bytes", module=execution.kind, node=node
+        ).add(execution.nbytes)
 
     # -- communication ------------------------------------------------------------
     def submit_send(self, ready: float, nbytes: float) -> float:

@@ -42,6 +42,7 @@ class _SharedState:
     validate_mode: str  # "sequential" | "distributed" | "none"
     validator: object | None  # DistributedValidator for "distributed"
     counter_keys: tuple[str, ...]  # cluster stats to delta per root
+    collect_traces: bool = False  # ship per-level traces for telemetry
 
 
 @dataclass
@@ -60,6 +61,10 @@ class RootOutcome:
     validation_error: str | None = None
     validation_seconds: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
+    #: Compact per-level records ``(level, direction, start, finish)``,
+    #: filled when the parent collects telemetry (span recording happens in
+    #: the parent: a child's in-process telemetry dies with the fork).
+    traces: list[tuple[int, str, float, float]] | None = None
 
 
 def fork_available() -> bool:
@@ -99,6 +104,10 @@ def _execute_root(index: int, root: int) -> RootOutcome:
         seconds=result.sim_seconds,
         levels=result.levels,
     )
+    if state.collect_traces:
+        outcome.traces = [
+            (t.level, t.direction, t.start, t.finish) for t in result.traces
+        ]
     if state.validate_mode == "sequential":
         try:
             validate_bfs_result(state.graph, state.edges, root, result.parent)
@@ -141,6 +150,7 @@ def run_roots_parallel(
     validator,
     workers: int,
     counter_keys: tuple[str, ...] = (),
+    collect_traces: bool = False,
 ) -> list[RootOutcome]:
     """Fan ``roots`` across ``workers`` forked processes; ordered outcomes.
 
@@ -162,6 +172,7 @@ def run_roots_parallel(
         validate_mode=validate_mode,
         validator=validator,
         counter_keys=tuple(counter_keys),
+        collect_traces=collect_traces,
     )
     ctx = mp.get_context("fork")
     queue = ctx.SimpleQueue()

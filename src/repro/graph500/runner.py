@@ -64,6 +64,7 @@ class Graph500Runner:
         node_faults=None,
         on_root_failure: str = "abort",
         workers: int = 1,
+        telemetry=None,
     ):
         if nodes < 1:
             raise ConfigError(f"need at least one simulated node, got {nodes}")
@@ -93,6 +94,12 @@ class Graph500Runner:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        #: Optional :class:`repro.telemetry.Telemetry`. Sequential runs get
+        #: full kernel instrumentation (spans, labeled metrics, busy
+        #: intervals); ``workers>1`` runs derive the run/root/level span
+        #: skeleton from the merged outcomes (a forked child's in-process
+        #: telemetry dies with the child).
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------- dispatch --
     def _effective_workers(self, num_roots: int) -> int:
@@ -169,10 +176,33 @@ class Graph500Runner:
             )
 
         workers = self._effective_workers(num_roots)
+        tel = self.telemetry
+        if tel is not None and not tel.enabled:
+            tel = None
+        run_span = -1
+        if tel is not None:
+            run_span = tel.spans.open(
+                "run",
+                "run",
+                parent=tel.current,
+                scale=self.spec.scale,
+                nodes=self.nodes,
+                variant=self.variant,
+                workers=workers,
+            )
+            tel.push(run_span)
+            if workers == 1:
+                tel.attach_kernel(bfs)
         if workers > 1:
             self._run_parallel(report, bfs, graph, edges, roots, validator, workers)
         else:
             self._run_sequential(report, bfs, graph, edges, roots, validator)
+        if tel is not None:
+            closed_roots = [s for s in tel.spans.by_category("root") if s.closed]
+            start = min((s.start for s in closed_roots), default=0.0)
+            finish = max((s.finish for s in closed_roots), default=start)
+            tel.spans.close(run_span, start, finish)
+            tel.pop()
         return report
 
     # ----------------------------------------------------------- sequential --
@@ -238,6 +268,9 @@ class Graph500Runner:
         construction_counters = {
             key: bfs.cluster.stats.value(key) for key in _RESILIENCE_COUNTERS
         }
+        tel = self.telemetry
+        if tel is not None and not tel.enabled:
+            tel = None
         outcomes = run_roots_parallel(
             bfs,
             graph,
@@ -247,6 +280,7 @@ class Graph500Runner:
             validator,
             workers,
             counter_keys=_RESILIENCE_COUNTERS,
+            collect_traces=tel is not None,
         )
         if self.on_root_failure == "abort":
             for outcome in outcomes:
@@ -272,6 +306,23 @@ class Graph500Runner:
             validation_seconds += outcome.validation_seconds
             for key, delta in outcome.counters.items():
                 totals[key] = totals.get(key, 0) + delta
+            if tel is not None and outcome.traces:
+                # Rebuild the root/level span skeleton the kernel would have
+                # recorded live (times are the child's simulated clock).
+                t0 = outcome.traces[0][2]
+                root_span = tel.spans.open(
+                    f"root {outcome.root}", "root",
+                    parent=tel.current, root=outcome.root,
+                )
+                for lvl, direction, start, finish in outcome.traces:
+                    tel.spans.record(
+                        f"level {lvl}", "level", start, finish,
+                        parent=root_span, level=lvl, direction=direction,
+                    )
+                tel.spans.close(
+                    root_span, t0, t0 + outcome.seconds,
+                    sim_seconds=outcome.seconds, levels=outcome.levels,
+                )
         if validator is not None:
             report.extra["validation_seconds"] = validation_seconds
         for key in _RESILIENCE_COUNTERS:

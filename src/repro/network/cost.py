@@ -167,6 +167,13 @@ class NetworkModel:
         return arrivals
 
     # -- bookkeeping ----------------------------------------------------------------
+    def all_links(self):
+        """Every link in the model (NICs then trunks), for tracing/telemetry."""
+        yield from self.nic_out
+        yield from self.nic_in
+        yield from self.uplink
+        yield from self.downlink
+
     def reset(self) -> None:
         for group in (self.nic_out, self.nic_in, self.uplink, self.downlink):
             for link in group:

@@ -96,6 +96,9 @@ class SimCluster:
         ]
         self._handlers: dict[int, Handler] = {}
         self._dead: set[int] = set()
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, sends
+        #: also count into per-tag labeled families.
+        self.telemetry = None
 
     @property
     def num_nodes(self) -> int:
@@ -157,6 +160,10 @@ class SimCluster:
         msg = Message(src, dst, tag, nbytes, payload, now, -1.0)
         self._stat_messages.add()
         self._stat_bytes.add(nbytes)
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("messages_by_tag", tag=tag).add()
+            tel.metrics.counter("bytes_by_tag", tag=tag).add(nbytes)
         if src != dst and not self.topology.is_intra_super_node(src, dst):
             self._stat_central_messages.add()
             self._stat_central_bytes.add(nbytes)
@@ -247,6 +254,10 @@ class SimCluster:
                     other.ensure(src)
         self._stat_messages.add(n)
         self._stat_bytes.add(sum(nbytes_l))
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("messages_by_tag", tag=tag).add(n)
+            tel.metrics.counter("bytes_by_tag", tag=tag).add(sum(nbytes_l))
         payload_list = (None,) * n if payloads is None else payloads
         network = self.network
         nic_in, downlink = network.nic_in, network.downlink

@@ -98,6 +98,14 @@ class ReliableChannel:
         self._seen: set[int] = set()
         self._lower_deliver = cluster._deliver
         cluster._deliver = self._deliver  # type: ignore[method-assign]
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, protocol
+        #: events also count into the labeled ``transport_events`` family.
+        self.telemetry = None
+
+    def _event(self, kind: str) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("transport_events", kind=kind).add()
 
     # -- lifecycle -------------------------------------------------------------
     def uninstall(self) -> None:
@@ -232,9 +240,11 @@ class ReliableChannel:
         if pending.attempt >= self.config.max_retries:
             del self._pending[seq]
             self.cluster.stats.counter("gave_up").add()
+            self._event("gave_up")
             return
         pending.attempt += 1
         self.cluster.stats.counter("retransmits").add()
+        self._event("retransmit")
         self._transmit(seq)
 
     # -- receive side -------------------------------------------------------------
@@ -243,6 +253,7 @@ class ReliableChannel:
             pending = self._pending.pop(msg.payload, None)
             if pending is not None:
                 self.cluster.stats.counter("acks").add()
+                self._event("ack")
                 if pending.timer is not None:
                     self.engine.cancel(pending.timer)
             return
@@ -259,12 +270,14 @@ class ReliableChannel:
         if payload_checksum(envelope.payload) != envelope.checksum:
             # Corrupted on the wire: pretend it never arrived.
             self.cluster.stats.counter("corrupt_detected").add()
+            self._event("corrupt_detected")
             return
         self.cluster.send(
             msg.dst, msg.src, ACK_TAG, self.config.ack_bytes, payload=envelope.seq
         )
         if envelope.seq in self._seen:
             self.cluster.stats.counter("dup_suppressed").add()
+            self._event("dup_suppressed")
             return
         self._seen.add(envelope.seq)
         self._lower_deliver(

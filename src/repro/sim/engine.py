@@ -32,6 +32,10 @@ class Engine:
         self._events_executed = 0
         self._running = False
         self._cancelled: set[int] = set()
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, each
+        #: ``run`` folds its executed-event count into the metrics
+        #: registry (zero cost on the per-event hot path).
+        self.telemetry = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -166,6 +170,8 @@ class Engine:
             # Folded out of the hot loop; nothing inside a callback reads
             # the counter mid-run.
             self._events_executed += executed
+            if self.telemetry is not None and executed:
+                self.telemetry.metrics.counter("engine_events").add(executed)
         return self._now
 
     def run_until_quiescent(self, max_events: int = 100_000_000) -> float:

@@ -16,7 +16,7 @@ from repro.errors import SimulationError
 class Server:
     """One FIFO unit of service with a next-free time and utilisation stats.
 
-    Setting ``intervals`` to a list (see :mod:`repro.utils.trace`) makes the
+    Setting ``intervals`` to a list (see :mod:`repro.telemetry.export`) makes the
     server record every (start, finish) busy window for trace export.
     """
 
@@ -87,6 +87,17 @@ class Server:
         self.free_at = 0.0
         self.busy_time = 0.0
         self.jobs = 0
+
+    # -- telemetry ---------------------------------------------------------------
+    def enable_intervals(self) -> None:
+        """Start recording (start, finish) busy windows (idempotent)."""
+        if self.intervals is None:
+            self.intervals = []
+
+    def clear_intervals(self) -> None:
+        """Drop recorded windows but keep recording enabled (if it was)."""
+        if self.intervals is not None:
+            self.intervals = []
 
 
 class ServerPool:

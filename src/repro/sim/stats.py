@@ -3,70 +3,40 @@
 Simulations register named counters and time series under a
 :class:`StatsRegistry`; benchmark harnesses read them to report message
 counts, byte volumes, per-level timings and so on.
+
+The registry is now a thin specialisation of
+:class:`repro.telemetry.metrics.MetricsRegistry` — the unified observability
+layer — so every simulation stats object also supports labeled counters,
+gauges and histograms (``stats.counter("messages_by_tag", tag="fwd")``)
+with unchanged unlabeled behaviour and snapshot format.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+__all__ = ["Counter", "Gauge", "Histogram", "TimeSeries", "StatsRegistry"]
 
 
-@dataclass
-class Counter:
-    """A monotone counter (events, bytes, messages...)."""
+class StatsRegistry(MetricsRegistry):
+    """Named counters and series with create-on-first-use semantics.
 
-    name: str
-    value: float = 0.0
-
-    def add(self, amount: float = 1.0) -> None:
-        self.value += amount
-
-
-@dataclass
-class TimeSeries:
-    """A sequence of (time, value) observations."""
-
-    name: str
-    times: list[float] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
-
-    def observe(self, time: float, value: float) -> None:
-        self.times.append(time)
-        self.values.append(value)
-
-    def __len__(self) -> int:
-        return len(self.values)
-
-    def total(self) -> float:
-        return sum(self.values)
-
-    def mean(self) -> float:
-        return self.total() / len(self.values) if self.values else 0.0
-
-    def max(self) -> float:
-        return max(self.values) if self.values else 0.0
-
-
-class StatsRegistry:
-    """Named counters and series with create-on-first-use semantics."""
+    Adds the simulation-side :class:`TimeSeries` store to the base metrics
+    registry; series are kept out of ``snapshot()`` (they are sequences,
+    not scalars).
+    """
 
     def __init__(self) -> None:
-        self.counters: dict[str, Counter] = {}
+        super().__init__()
         self.series: dict[str, TimeSeries] = {}
-
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
 
     def timeseries(self, name: str) -> TimeSeries:
         if name not in self.series:
             self.series[name] = TimeSeries(name)
         return self.series[name]
-
-    def value(self, name: str) -> float:
-        """Read a counter's value (0.0 if it was never touched)."""
-        c = self.counters.get(name)
-        return c.value if c else 0.0
-
-    def snapshot(self) -> dict[str, float]:
-        return {name: c.value for name, c in sorted(self.counters.items())}

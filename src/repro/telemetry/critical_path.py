@@ -1,0 +1,234 @@
+"""Critical-path / occupancy attribution (the paper's Figure 10 view).
+
+Given every resource's busy intervals and the per-level windows of a
+traversal, attribute each level's simulated seconds to resource classes:
+
+- **compute** — module executions on CPE clusters C0/C2/C3 and the aux
+  MPEs M2/M3 (generators, handlers, hub settle, quick-path work);
+- **relay**  — cluster C1, which owns the Forward/Backward Relay modules
+  (the group-batching extra hop);
+- **mpe**    — the dedicated communication MPEs M0/M1 (per-message send
+  and receive software overhead);
+- **link**   — NIC in/out and the central up/down trunks;
+- **idle**   — instants inside the level where nothing is busy
+  (propagation latency, sub-round allreduce gaps).
+
+An instant where several classes are busy at once splits its duration
+equally among them, so per-level class seconds sum *exactly* to the level
+duration (this is what makes the run report's attribution check against
+``sim_seconds`` meaningful). Control time between levels (direction
+allreduce + hub allgather) is reported by the caller as the remainder
+``sim_seconds - sum(level windows)``.
+
+The top-k table ranks individual resources by busy time inside the
+analysed window — the most serialised server is the bottleneck candidate,
+exactly how the paper reads its module timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import Table
+
+#: Attribution classes, in reporting order.
+CLASSES = ("compute", "relay", "mpe", "link", "idle")
+
+
+def classify_resource(name: str) -> str:
+    """Map a server/link name to an attribution class.
+
+    Server names look like ``node3.C1`` / ``node0.M0``; link names like
+    ``nic_out[5]``, ``uplink[0]``. Unknown names count as compute (they
+    are, by construction, execution units someone added to a node).
+    """
+    if "[" in name:
+        return "link"
+    unit = name.rsplit(".", 1)[-1]
+    if unit == "C1":
+        return "relay"
+    if unit in ("M0", "M1"):
+        return "mpe"
+    return "compute"
+
+
+@dataclass
+class LevelAttribution:
+    """One level's window and its class-seconds breakdown."""
+
+    level: int
+    start: float
+    finish: float
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+@dataclass
+class ResourceOccupancy:
+    """One resource's busy time inside the analysed window."""
+
+    name: str
+    cls: str
+    busy: float
+    jobs: int
+    occupancy: float  # busy / window duration
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-level attribution plus the top serialised resources."""
+
+    levels: list[LevelAttribution]
+    top_resources: list[ResourceOccupancy]
+    window: tuple[float, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "window": list(self.window),
+            "levels": [
+                {
+                    "level": lv.level,
+                    "start": lv.start,
+                    "finish": lv.finish,
+                    "duration": lv.duration,
+                    "seconds": dict(lv.seconds),
+                }
+                for lv in self.levels
+            ],
+            "top_resources": [
+                {
+                    "name": r.name,
+                    "class": r.cls,
+                    "busy_seconds": r.busy,
+                    "jobs": r.jobs,
+                    "occupancy": r.occupancy,
+                }
+                for r in self.top_resources
+            ],
+        }
+
+    def level_table(self) -> str:
+        t = Table(
+            ["level", "duration", *CLASSES],
+            title="Per-level time attribution (seconds, equal-split)",
+        )
+        for lv in self.levels:
+            t.add_row(
+                [
+                    lv.level,
+                    f"{lv.duration:.3e}",
+                    *(f"{lv.seconds.get(c, 0.0):.3e}" for c in CLASSES),
+                ]
+            )
+        return t.render()
+
+    def resource_table(self) -> str:
+        t = Table(
+            ["resource", "class", "busy", "occupancy"],
+            title="Top serialized resources (busy time in window)",
+        )
+        for r in self.top_resources:
+            t.add_row(
+                [r.name, r.cls, f"{r.busy:.3e}", f"{100 * r.occupancy:.1f}%"]
+            )
+        return t.render()
+
+
+def _clip(intervals: list[tuple[float, float]], lo: float, hi: float):
+    """Intervals intersected with ``[lo, hi]`` (inputs are start-sorted)."""
+    out = []
+    for start, finish in intervals:
+        if finish <= lo:
+            continue
+        if start >= hi:
+            break
+        out.append((max(start, lo), min(finish, hi)))
+    return out
+
+
+def attribute_window(
+    intervals_by_resource: dict[str, list[tuple[float, float]]],
+    lo: float,
+    hi: float,
+) -> dict[str, float]:
+    """Split ``[lo, hi]`` across attribution classes by a boundary sweep.
+
+    Each elementary slice's duration is divided equally among the classes
+    busy during it; slices where nothing is busy go to ``idle``. The
+    returned values sum to exactly ``hi - lo`` (one subtraction per slice,
+    no reassociation across slices beyond the final sum).
+    """
+    seconds = dict.fromkeys(CLASSES, 0.0)
+    if hi <= lo:
+        return seconds
+    # Per-class clipped interval edges: (time, class, +1/-1).
+    events: list[tuple[float, int, str]] = []
+    for name, intervals in intervals_by_resource.items():
+        cls = classify_resource(name)
+        for start, finish in _clip(intervals, lo, hi):
+            if finish > start:
+                events.append((start, +1, cls))
+                events.append((finish, -1, cls))
+    if not events:
+        seconds["idle"] = hi - lo
+        return seconds
+    events.sort(key=lambda e: (e[0], e[1]))
+    active = dict.fromkeys(CLASSES, 0)
+    prev = lo
+    for time, delta, cls in events:
+        if time > prev:
+            busy = [c for c in CLASSES if active[c] > 0]
+            width = time - prev
+            if busy:
+                share = width / len(busy)
+                for c in busy:
+                    seconds[c] += share
+            else:
+                seconds["idle"] += width
+            prev = time
+        active[cls] += delta
+    if hi > prev:
+        seconds["idle"] += hi - prev
+    return seconds
+
+
+def analyze_critical_path(
+    intervals_by_resource: dict[str, list[tuple[float, float]]],
+    level_windows: list[tuple[int, float, float]],
+    top_k: int = 10,
+) -> CriticalPathReport:
+    """Attribute each level window and rank resources across all of them.
+
+    ``level_windows`` is ``[(level, start, finish), ...]`` — typically one
+    root's :class:`~repro.core.bfs.LevelTrace` list.
+    """
+    levels = []
+    for level, start, finish in level_windows:
+        levels.append(
+            LevelAttribution(
+                level, start, finish,
+                attribute_window(intervals_by_resource, start, finish),
+            )
+        )
+    lo = min((s for _, s, _ in level_windows), default=0.0)
+    hi = max((f for _, _, f in level_windows), default=0.0)
+    duration = max(hi - lo, 1e-300)
+    occupancies = []
+    for name, intervals in intervals_by_resource.items():
+        clipped = _clip(intervals, lo, hi)
+        busy = sum(f - s for s, f in clipped)
+        if busy > 0:
+            occupancies.append(
+                ResourceOccupancy(
+                    name, classify_resource(name), busy, len(clipped),
+                    busy / duration,
+                )
+            )
+    occupancies.sort(key=lambda r: (-r.busy, r.name))
+    return CriticalPathReport(levels, occupancies[:top_k], (lo, hi))

@@ -1,0 +1,84 @@
+"""Profile-run assembly: telemetry + benchmark report -> run report dict.
+
+``repro profile`` drives a normal Graph500 run with a :class:`Telemetry`
+attached, then calls :func:`build_run_report` to fold the recorded spans,
+busy intervals and metrics into one machine-readable document:
+
+- per root: the level windows, the critical-path class attribution of
+  each window, and the check that attributed seconds re-sum to the root's
+  ``sim_seconds`` (the acceptance gate is <= 1% relative error);
+- globally: the metrics snapshot, a Figure 10-style top-k occupancy
+  table over the whole run, and span counts per category.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import Telemetry, analyze_critical_path, attribute_window
+from repro.telemetry.export import root_attribution_entry, run_report
+
+
+def _level_windows_of(tel: Telemetry, root_span) -> list[tuple[int, float, float]]:
+    return [
+        (int(s.attrs.get("level", 0)), s.start, s.finish)
+        for s in tel.spans.spans
+        if s.category == "level" and s.parent == root_span.id and s.closed
+    ]
+
+
+def build_run_report(tel: Telemetry, benchmark: dict, top_k: int = 10) -> dict:
+    """Assemble the run report from recorded telemetry.
+
+    Works from the ``root``/``level`` spans (present in both the
+    sequential kernel-instrumented path and the workers>1 derived path);
+    interval-based attribution needs the sequential path — without
+    intervals every level attributes to ``idle`` and the check still
+    balances.
+    """
+    intervals = tel.intervals()
+    root_entries = []
+    all_windows: list[tuple[int, float, float]] = []
+    for root_span in tel.spans.by_category("root"):
+        if not root_span.closed:
+            continue
+        windows = _level_windows_of(tel, root_span)
+        all_windows.extend(windows)
+        attribution = []
+        levels = []
+        for level, start, finish in windows:
+            attribution.append(
+                {
+                    "level": level,
+                    "start": start,
+                    "finish": finish,
+                    "seconds": attribute_window(intervals, start, finish),
+                }
+            )
+            levels.append(
+                {"level": level, "start": start, "finish": finish}
+            )
+        sim_seconds = float(
+            root_span.attrs.get("sim_seconds", root_span.seconds)
+        )
+        root_entries.append(
+            root_attribution_entry(
+                int(root_span.attrs.get("root", -1)),
+                sim_seconds,
+                levels,
+                attribution,
+            )
+        )
+    critical = (
+        analyze_critical_path(intervals, all_windows, top_k=top_k)
+        if all_windows
+        else None
+    )
+    span_counts: dict[str, int] = {}
+    for span in tel.spans.spans:
+        span_counts[span.category] = span_counts.get(span.category, 0) + 1
+    return run_report(
+        benchmark,
+        tel.metrics.snapshot(),
+        root_entries,
+        critical_path=critical,
+        span_counts=span_counts,
+    )

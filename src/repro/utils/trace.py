@@ -1,57 +1,25 @@
-"""Execution-trace export (Chrome ``chrome://tracing`` JSON).
+"""Deprecated: execution-trace export moved to :mod:`repro.telemetry.export`.
 
-When tracing is enabled on a BFS instance, every server (MPE, CPE cluster,
-link) records its busy intervals; this module converts them into the Trace
-Event Format so a traversal's pipeline behaviour — module overlap, M0/M1
-send/recv streams, cluster serialisation — can be inspected visually.
+This module re-exports the original three functions so existing imports
+keep working; new code should use ``repro.telemetry`` (which also records
+spans, labeled metrics and critical-path attribution around the same
+busy-interval data).
 """
 
 from __future__ import annotations
 
-import json
-from collections.abc import Iterable
+import warnings
 
-from repro.sim.resources import Server
+from repro.telemetry.export import (  # noqa: F401  (re-exports)
+    collect_intervals,
+    enable_tracing,
+    to_chrome_trace,
+)
 
+__all__ = ["enable_tracing", "collect_intervals", "to_chrome_trace"]
 
-def enable_tracing(servers: Iterable[Server]) -> None:
-    """Attach interval logs to servers (idempotent)."""
-    for s in servers:
-        if getattr(s, "intervals", None) is None:
-            s.intervals = []  # type: ignore[attr-defined]
-
-
-def collect_intervals(servers: Iterable[Server]) -> dict[str, list[tuple[float, float]]]:
-    out = {}
-    for s in servers:
-        intervals = getattr(s, "intervals", None)
-        if intervals:
-            out[s.name] = list(intervals)
-    return out
-
-
-def to_chrome_trace(
-    intervals_by_server: dict[str, list[tuple[float, float]]],
-    time_scale: float = 1e6,
-) -> str:
-    """Render busy intervals as Trace Event Format JSON (times in us)."""
-    events = []
-    # Group servers by node so the viewer shows one process per node.
-    for name in sorted(intervals_by_server):
-        if "." in name:
-            pid, tid = name.split(".", 1)
-        else:
-            pid, tid = "machine", name
-        for start, finish in intervals_by_server[name]:
-            events.append(
-                {
-                    "name": tid,
-                    "cat": "sim",
-                    "ph": "X",
-                    "ts": start * time_scale,
-                    "dur": max(finish - start, 0.0) * time_scale,
-                    "pid": pid,
-                    "tid": tid,
-                }
-            )
-    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=None)
+warnings.warn(
+    "repro.utils.trace is deprecated; use repro.telemetry.export instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

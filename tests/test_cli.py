@@ -57,6 +57,27 @@ def test_generate_writes_archive(tmp_path, capsys):
     assert edges.num_edges == 16 << 8
 
 
+def test_profile_writes_reports(tmp_path, capsys):
+    out_dir = tmp_path / "prof"
+    rc = main(
+        ["profile", "--scale", "8", "--nodes", "4", "--roots", "2",
+         "--out", str(out_dir)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "attribution check" in out and "within 1%: True" in out
+    assert "Per-level time attribution" in out
+    import json
+
+    trace = json.loads((out_dir / "trace.json").read_text())
+    assert trace["traceEvents"] and {e["ph"] for e in trace["traceEvents"]} == {"X"}
+    report = json.loads((out_dir / "run_report.json").read_text())
+    assert report["attribution_check"]["within_1pct"] is True
+    assert len(report["roots"]) == 2
+    assert (out_dir / "summary.csv").read_text().startswith("root,")
+    assert "# Run report summary" in (out_dir / "summary.md").read_text()
+
+
 def test_sssp_subcommand(capsys):
     rc = main(["sssp", "--scale", "8", "--nodes", "2", "--roots", "2",
                "--super-node", "2"])

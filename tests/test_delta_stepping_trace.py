@@ -84,7 +84,8 @@ def test_trace_export_contains_busy_intervals():
     names = {e["name"] for e in events}
     assert "M0" in names and "M1" in names
     pids = {e["pid"] for e in events}
-    assert pids == {f"node{i}" for i in range(4)}
+    # Link busy intervals ride along under a "network" process group.
+    assert pids == {f"node{i}" for i in range(4)} | {"network"}
     for e in events[:50]:
         assert e["ph"] == "X"
         assert e["dur"] >= 0

@@ -319,6 +319,70 @@ def test_channel_send_batch_rejects_reserved_tag():
         channel.send_batch(0, [1], "ack", [8])
 
 
+# --- telemetry parity: spans/intervals/metrics, batched vs scalar ------------
+def _run_both_profiled(variant, nodes, roots=(1, 5)):
+    """Like ``_run_both`` with full telemetry attached in both modes."""
+    from repro.telemetry import Telemetry
+
+    edges = _edges()
+    out = []
+    for batch in (False, True):
+        cfg = replace(variant_config(variant), batch_messages=batch)
+        tel = Telemetry()
+        bfs = DistributedBFS(edges, nodes, config=cfg, telemetry=tel)
+        results = [bfs.run(r) for r in roots]
+        out.append((results, tel))
+    return out
+
+
+def _span_rows(tel):
+    return [
+        (s.name, s.category, s.start, s.finish, s.parent, s.closed,
+         tuple(sorted(s.attrs.items())))
+        for s in tel.spans.spans
+    ]
+
+
+def test_telemetry_parity_batched_vs_scalar():
+    """With tracing on, the batched path must pin the scalar one exactly:
+    same labeled-metric snapshot, same busy intervals on every server and
+    link, and the same span list (ids, parents, windows, attrs)."""
+    (res_s, tel_s), (res_b, tel_b) = _run_both_profiled("relay-cpe", nodes=8)
+    for a, b in zip(res_s, res_b):
+        assert np.array_equal(a.parent, b.parent)
+        assert a.sim_seconds == b.sim_seconds
+        assert a.stats == b.stats
+    assert tel_s.metrics.snapshot() == tel_b.metrics.snapshot()
+    assert tel_s.intervals() == tel_b.intervals()
+    assert _span_rows(tel_s) == _span_rows(tel_b)
+
+
+def test_telemetry_parity_direct_variant():
+    (_, tel_s), (_, tel_b) = _run_both_profiled("direct-cpe", nodes=8,
+                                                roots=(1,))
+    assert tel_s.metrics.snapshot() == tel_b.metrics.snapshot()
+    assert tel_s.intervals() == tel_b.intervals()
+    assert _span_rows(tel_s) == _span_rows(tel_b)
+
+
+def test_telemetry_off_leaves_stats_identical_to_untraced_run():
+    """A disabled Telemetry must be a true no-op: exactly the snapshot a
+    plain run produces (no extra families, no interval recording)."""
+    from repro.telemetry import Telemetry
+
+    edges = _edges()
+    cfg = replace(variant_config("relay-cpe"), batch_messages=True)
+    plain = DistributedBFS(edges, 8, config=cfg)
+    plain_result = plain.run(1)
+    tel = Telemetry(enabled=False)
+    off = DistributedBFS(edges, 8, config=cfg, telemetry=tel)
+    off_result = off.run(1)
+    assert np.array_equal(plain_result.parent, off_result.parent)
+    assert plain_result.sim_seconds == off_result.sim_seconds
+    assert plain.cluster.stats.snapshot() == off.cluster.stats.snapshot()
+    assert all(s.intervals is None for s in off._all_servers())
+
+
 # --- engine parity: schedule_batch vs call_at --------------------------------
 def test_schedule_batch_matches_sequential_call_at():
     ran_a, ran_b = [], []

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core import BFSConfig, DistributedBFS
 from repro.graph import CSRGraph, KroneckerGenerator
-from repro.utils.trace import collect_intervals
+from repro.telemetry.export import collect_intervals
 
 
 def _any_overlap(windows_a, windows_b):

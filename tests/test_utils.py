@@ -10,7 +10,7 @@ from repro.sim import Server
 from repro.sim.rng import substream
 from repro.utils import Table, fmt_bytes, fmt_count, fmt_rate, fmt_time
 from repro.utils.logging import enable_logging, get_logger
-from repro.utils.trace import collect_intervals, enable_tracing, to_chrome_trace
+from repro.telemetry.export import collect_intervals, enable_tracing, to_chrome_trace
 from repro.utils.units import gteps
 
 
