@@ -6,7 +6,11 @@ Commands:
 - ``fig11`` / ``fig12`` / ``table2`` — regenerate the evaluation series
   from the calibrated model;
 - ``specs`` — print Table 1;
-- ``generate`` — write a Kronecker edge list to disk.
+- ``generate`` — write a Kronecker edge list to disk;
+- ``lint`` — determinism lint over the sources (CI gate);
+- ``prove-mesh`` — statically prove a shuffle schedule conflict- and
+  deadlock-free;
+- ``sanitize`` — double-run determinism check (digest diff).
 """
 
 from __future__ import annotations
@@ -75,6 +79,7 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         node_faults=node_faults,
         on_root_failure=args.on_root_failure,
         workers=args.workers,
+        sanitize=args.sanitize,
     )
     report = runner.run(num_roots=args.roots)
     print(report.summary())
@@ -135,6 +140,68 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for name in ("trace.json", "run_report.json", "summary.csv", "summary.md"):
         print(f"wrote {out_dir / name}")
     return 0 if check["within_1pct"] else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Determinism lint: AST rules + optional mesh proof, CI-gateable."""
+    import pathlib
+
+    from repro.sanitizers import RULES, lint_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id} [{rule.scope}] {rule.name}: {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default to the installed package sources.
+        paths = [str(pathlib.Path(__file__).resolve().parent)]
+    report = lint_paths(paths, scope=args.scope)
+    rendered = (
+        report.to_json() if args.format == "json" else report.render_text()
+    )
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
+def _cmd_prove_mesh(args: argparse.Namespace) -> int:
+    """Statically prove the shuffle schedule for a role layout."""
+    from repro.core.config import BFSConfig, RoleLayout
+    from repro.core.shuffle import ShufflePlan
+    from repro.sanitizers import prove_plan
+
+    roles = RoleLayout(
+        producer_cols=args.producer_cols,
+        router_cols=args.router_cols,
+        consumer_cols=args.consumer_cols,
+    )
+    config = BFSConfig(roles=roles)
+    plan = ShufflePlan.from_config(config, args.destinations)
+    report = prove_plan(plan)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Double-run determinism check: report/span/metric digest diff."""
+    from repro.sanitizers import check_determinism
+
+    result = check_determinism(
+        scale=args.scale,
+        nodes=args.nodes,
+        num_roots=args.roots,
+        seed=args.seed,
+        variant=args.variant,
+        workers=args.workers,
+        runs=args.runs,
+        validate=not args.no_validate,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
@@ -339,7 +406,51 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--on-root-failure", choices=["abort", "skip"],
                      default="abort",
                      help="skip: record a failed root and keep benchmarking")
+    p.add_argument("--sanitize", action="store_true",
+                   help="enable runtime sanitizers: SPM write-conflict and "
+                        "message-mutation detection (forces workers=1)")
     p.set_defaults(func=_cmd_graph500)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism lint over python sources (rule ids REP101-REP105)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the installed "
+                        "repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--output", default=None,
+                   help="write findings to this file instead of stdout")
+    p.add_argument("--scope", choices=["sim-core", "repro"], default=None,
+                   help="force a rule scope instead of deriving it from "
+                        "each file's package path")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "prove-mesh",
+        help="prove a register-mesh shuffle schedule conflict/deadlock-free",
+    )
+    p.add_argument("--destinations", type=int, default=64)
+    p.add_argument("--producer-cols", type=int, default=4)
+    p.add_argument("--router-cols", type=int, default=2)
+    p.add_argument("--consumer-cols", type=int, default=2)
+    p.set_defaults(func=_cmd_prove_mesh)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="determinism sanitizer: run the benchmark N times, diff digests",
+    )
+    p.add_argument("--scale", type=int, default=13)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--roots", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--variant", default="relay-cpe")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--no-validate", action="store_true")
+    p.set_defaults(func=_cmd_sanitize)
 
     p = sub.add_parser(
         "profile",

@@ -108,7 +108,11 @@ class GroupLayout:
 
     def relay_connections(self, node: int) -> int:
         """Distinct peers under relay routing: <= (N-1) + (M-1)."""
-        return len(set(self.column_peers(node)) | set(self.row_peers(node)))
+        # dict.fromkeys: order-stable dedup (determinism lint REP104 —
+        # hash-ordered set unions are banned in sim-core modules).
+        return len(
+            dict.fromkeys(self.column_peers(node) + self.row_peers(node))
+        )
 
     def direct_connections(self) -> int:
         """Distinct peers under direct routing: everyone."""

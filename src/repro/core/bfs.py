@@ -198,6 +198,22 @@ class DistributedBFS:
             self.shuffle_plan = ShufflePlan.from_config(self.config, max(1, dests))
         else:
             self.shuffle_plan = None
+
+        # --- runtime sanitizers (opt-in; repro.sanitizers.runtime) --------------
+        #: SPM write-conflict detector, consulted per shuffle in
+        #: ``_send_buckets``; installed here via ``config.sanitize`` or
+        #: post-construction by ``Graph500Runner(sanitize=True)``.
+        self.spm_sanitizer = None
+        #: Message-mutated-after-send detector wrapping the cluster.
+        self.message_sanitizer = None
+        if self.config.sanitize:
+            from repro.sanitizers.runtime import (
+                MessageSanitizer,
+                SpmWriteSanitizer,
+            )
+
+            self.spm_sanitizer = SpmWriteSanitizer()
+            self.message_sanitizer = MessageSanitizer(self.cluster)
         if self.config.track_connections:
             for i in range(nodes):
                 required = (
@@ -429,6 +445,16 @@ class DistributedBFS:
             starts = np.concatenate(([0], boundaries))
             stops = np.concatenate((boundaries, [len(hops_sorted)]))
         n_buckets = len(starts)
+        spm_san = self.spm_sanitizer
+        if spm_san is not None and self.shuffle_plan is not None:
+            # One module execution = one shuffle phase: its consumer CPEs
+            # must write disjoint per-destination regions (Section 4.3's
+            # "no contention, no atomics", checked live).
+            spm_san.check_bucket_writes(
+                self.shuffle_plan,
+                hops_sorted[starts],
+                phase=f"node{state.node_id}:{tag}@{execution.start:.9e}",
+            )
         if self.config.batch_messages:
             starts_l, stops_l = starts.tolist(), stops.tolist()
             cfg = self.config
@@ -607,9 +633,13 @@ class DistributedBFS:
         peers = self._peer_cache.get(state.node_id)
         if peers is None:
             if self.config.use_relay:
+                # Deterministic union: concatenate + dict.fromkeys dedup
+                # keeps every step insertion-ordered (no hash-order hop).
                 peers = sorted(
-                    set(self.groups.column_peers(state.node_id))
-                    | set(self.groups.row_peers(state.node_id))
+                    dict.fromkeys(
+                        self.groups.column_peers(state.node_id)
+                        + self.groups.row_peers(state.node_id)
+                    )
                 )
             else:
                 peers = [p for p in range(self.num_nodes) if p != state.node_id]

@@ -9,6 +9,7 @@ Baselines and ablations flip individual fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigError
 
@@ -57,6 +58,16 @@ class RoleLayout:
 
     def producer_positions(self) -> list[tuple[int, int]]:
         return [(r, c) for r in range(self.mesh_rows) for c in range(self.producer_cols)]
+
+    @cached_property
+    def producer_set(self) -> frozenset[tuple[int, int]]:
+        """Producer positions as a cached frozenset (hot membership tests).
+
+        Safe to cache on a frozen dataclass: the fields it derives from
+        can never change, and ``cached_property`` stores the value in the
+        instance ``__dict__`` without going through ``__setattr__``.
+        """
+        return frozenset(self.producer_positions())
 
     def router_columns(self) -> tuple[int, int]:
         """(up_column, down_column) indices."""
@@ -138,6 +149,12 @@ class BFSConfig:
     # -- safety valves ---------------------------------------------------------------
     max_levels: int = 10_000
     track_connections: bool = True
+    #: Enable the runtime sanitizers (:mod:`repro.sanitizers.runtime`):
+    #: SPM write-conflict detection on every shuffle and message-mutated-
+    #: after-send detection on the cluster. Costs time and memory on the
+    #: hot path, so off by default; ``repro graph500 --sanitize`` or
+    #: ``Graph500Runner(sanitize=True)`` flips it for a run.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha <= 0 or self.beta <= 0:

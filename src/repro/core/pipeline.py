@@ -49,7 +49,7 @@ DISPOSE_MODULES = frozenset(["forward_handler", "backward_handler", "hub_settle"
 _FRACTION_CACHE: dict[int, "np.ndarray"] = {}
 
 
-@dataclass
+@dataclass(slots=True)
 class ModuleExecution:
     """Where and when a module ran (for stats and send pipelining)."""
 

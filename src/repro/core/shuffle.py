@@ -86,7 +86,7 @@ class ShufflePlan:
     def route(self, producer: tuple[int, int], destination_index: int) -> Route:
         """Producer -> row-east -> router column -> vertical -> consumer."""
         pr, pc = producer
-        if (pr, pc) not in set(self.roles.producer_positions()):
+        if (pr, pc) not in self.roles.producer_set:
             raise ConfigError(f"{producer} is not a producer position")
         cr, cc = self.consumer_for(destination_index)
         up_col, down_col = self.roles.router_columns()

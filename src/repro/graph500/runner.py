@@ -65,6 +65,7 @@ class Graph500Runner:
         on_root_failure: str = "abort",
         workers: int = 1,
         telemetry=None,
+        sanitize: bool = False,
     ):
         if nodes < 1:
             raise ConfigError(f"need at least one simulated node, got {nodes}")
@@ -100,6 +101,11 @@ class Graph500Runner:
         #: skeleton from the merged outcomes (a forked child's in-process
         #: telemetry dies with the child).
         self.telemetry = telemetry
+        #: Install the runtime sanitizers (:mod:`repro.sanitizers.runtime`)
+        #: on the constructed kernel: SPM write-conflict and message-
+        #: mutation detection. Forces sequential execution — the detectors
+        #: accumulate state in-process.
+        self.sanitize = sanitize
 
     # ------------------------------------------------------------- dispatch --
     def _effective_workers(self, num_roots: int) -> int:
@@ -113,6 +119,9 @@ class Graph500Runner:
         ):
             # Seeded fault/transport RNG streams advance across roots; only
             # the sequential order replays them faithfully.
+            return 1
+        if self.sanitize:
+            # Sanitizer digests/claims accumulate in-process.
             return 1
         from repro.graph500.parallel import fork_available
 
@@ -157,6 +166,16 @@ class Graph500Runner:
             from repro.sim.faults import NodeFaultInjector
 
             NodeFaultInjector(bfs.cluster, self.node_faults)
+        if self.sanitize:
+            from repro.sanitizers.runtime import (
+                MessageSanitizer,
+                SpmWriteSanitizer,
+            )
+
+            if getattr(bfs, "spm_sanitizer", None) is None:
+                bfs.spm_sanitizer = SpmWriteSanitizer()
+            if getattr(bfs, "message_sanitizer", None) is None:
+                bfs.message_sanitizer = MessageSanitizer(bfs.cluster)
 
         report = BenchmarkReport(
             spec=self.spec,
@@ -257,6 +276,16 @@ class Graph500Runner:
             value = bfs.cluster.stats.value(key)
             if value:
                 report.extra[key] = value
+        msg_san = getattr(bfs, "message_sanitizer", None)
+        if msg_san is not None:
+            report.extra["sanitizer_messages_checked"] = (
+                msg_san.messages_checked
+            )
+            report.extra["sanitizer_mutations"] = len(msg_san.violations)
+        spm_san = getattr(bfs, "spm_sanitizer", None)
+        if spm_san is not None:
+            report.extra["sanitizer_spm_phases"] = spm_san.phases_checked
+            report.extra["sanitizer_spm_conflicts"] = len(spm_san.conflicts)
 
     # ------------------------------------------------------------- parallel --
     def _run_parallel(

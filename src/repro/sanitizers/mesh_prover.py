@@ -1,0 +1,333 @@
+"""Static prover for register-mesh shuffle schedules.
+
+The paper (Section 4.3, Figure 6) claims the producer/router/consumer
+shuffle is *contention-free and deadlock-free by construction*: records
+move east along rows to a router column, strictly north in the up column
+or strictly south in the down column, then east again to a consumer whose
+SPM staging buffers and main-memory output regions are disjoint. This
+module turns that prose into machine-checked properties over a
+:class:`~repro.core.shuffle.ShufflePlan`:
+
+- **role partition** — producers, routers and consumers tile the mesh
+  with no overlap;
+- **row-then-column discipline** — every route is E-hops, at most one
+  vertical hop confined to a router column with that column's fixed
+  polarity (up column strictly N, down column strictly S), then E-hops;
+- **channel-dependency acyclicity** — the Dally & Seitz test over the
+  full route set (no circular wait ⇒ no deadlock);
+- **port-conflict freedom** — in an explicit phase-by-phase
+  :class:`MeshSchedule`, no CPE issues two sends or accepts two receives
+  in the same phase, and each route's hops occupy strictly increasing
+  phases;
+- **SPM feasibility** — per-destination staging claims fit the 64 KB SPM
+  after the reserved control region.
+
+``prove_plan`` runs all of them and returns a :class:`ProofReport`; the
+CI gate and the unit tests assert the paper schedule passes and seeded
+bad schedules (cyclic routes, double-claimed ports, oversized staging)
+are rejected with named violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.shuffle import ShufflePlan
+from repro.errors import ConfigError, DeadlockError, SpmOverflow
+from repro.machine.mesh import MeshTopology, Route, check_deadlock_free
+from repro.machine.spm import check_staging_layout
+
+Pos = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One register move ``src -> dst`` placed in one schedule phase."""
+
+    src: Pos
+    dst: Pos
+
+
+@dataclass
+class MeshSchedule:
+    """An explicit phase-by-phase register-transfer schedule.
+
+    ``phases[p]`` lists the transfers that fire simultaneously in phase
+    ``p``; the prover checks them for port conflicts. ``route_phases``
+    maps each route to the phase index of each of its hops so hop
+    ordering can be verified.
+    """
+
+    phases: list[list[Transfer]] = field(default_factory=list)
+    route_phases: list[tuple[Route, list[int]]] = field(default_factory=list)
+
+    def add_route(self, route: Route, mesh: MeshTopology) -> None:
+        """Greedy earliest-phase placement with per-phase port exclusivity.
+
+        Each hop lands in the earliest phase strictly after its
+        predecessor where neither its send port nor its receive port is
+        taken — the scheduler the real shuffle's round-robin
+        time-multiplexing approximates. The result is conflict-free by
+        construction; :func:`prove_schedule` re-verifies it from scratch
+        so hand-built (possibly broken) schedules get the same scrutiny.
+        """
+        phase_idx = -1
+        hop_phases: list[int] = []
+        for a, b in zip(route.stops, route.stops[1:]):
+            p = phase_idx + 1
+            while True:
+                while len(self.phases) <= p:
+                    self.phases.append([])
+                busy_send = any(t.src == a for t in self.phases[p])
+                busy_recv = any(t.dst == b for t in self.phases[p])
+                if not busy_send and not busy_recv:
+                    break
+                p += 1
+            self.phases[p].append(Transfer(a, b))
+            hop_phases.append(p)
+            phase_idx = p
+        self.route_phases.append((route, hop_phases))
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed property: a stable code plus a human explanation."""
+
+    code: str  # ROLE_OVERLAP / ILLEGAL_CHANNEL / DIRECTION / HOP_ORDER /
+    #           PORT_CONFLICT / CYCLE / SPM_OVERFLOW
+    message: str
+
+
+@dataclass
+class ProofReport:
+    """Outcome of proving one plan/schedule."""
+
+    checks: dict[str, bool] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    routes: int = 0
+    phases: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"mesh proof over {self.routes} route(s), {self.phases} phase(s):"
+        ]
+        for name in sorted(self.checks):
+            lines.append(f"  {'PASS' if self.checks[name] else 'FAIL'} {name}")
+        for v in self.violations:
+            lines.append(f"  {v.code}: {v.message}")
+        return "\n".join(lines)
+
+    def _fail(self, check: str, code: str, message: str) -> None:
+        self.checks[check] = False
+        self.violations.append(Violation(code, message))
+
+
+def _check_roles(plan: ShufflePlan, report: ProofReport) -> None:
+    """Producers/routers/consumers partition the mesh."""
+    roles = plan.roles
+    mesh_positions = [
+        (r, c) for r in range(roles.mesh_rows) for c in range(roles.mesh_cols)
+    ]
+    producers = roles.producer_positions()
+    up_col, down_col = roles.router_columns()
+    routers = [
+        (r, c) for r in range(roles.mesh_rows) for c in (up_col, down_col)
+    ]
+    consumers = roles.consumer_positions()
+    assigned = producers + routers + consumers
+    report.checks["role-partition"] = True
+    seen: dict[Pos, int] = {}
+    for pos in assigned:
+        seen[pos] = seen.get(pos, 0) + 1
+        if seen[pos] == 2:
+            report._fail(
+                "role-partition",
+                "ROLE_OVERLAP",
+                f"position {pos} is assigned to more than one role",
+            )
+    if len(seen) != len(mesh_positions):
+        missing = sorted(set(mesh_positions) - set(seen))[:4]
+        report._fail(
+            "role-partition",
+            "ROLE_OVERLAP",
+            f"roles do not cover the mesh; first uncovered: {missing}",
+        )
+
+
+def _check_directions(
+    plan: ShufflePlan, routes: list[Route], mesh: MeshTopology, report: ProofReport
+) -> None:
+    """Row-then-column shape plus per-router-column polarity."""
+    up_col, down_col = plan.roles.router_columns()
+    report.checks["direction-discipline"] = True
+    for route in routes:
+        dirs = []
+        try:
+            for a, b in zip(route.stops, route.stops[1:]):
+                dirs.append(mesh.direction(a, b))
+        except Exception as exc:  # illegal hop: not same row/column
+            report._fail(
+                "direction-discipline", "ILLEGAL_CHANNEL", str(exc)
+            )
+            continue
+        vertical = [i for i, d in enumerate(dirs) if d in ("N", "S")]
+        if len(vertical) > 1:
+            report._fail(
+                "direction-discipline",
+                "DIRECTION",
+                f"route {route.stops} takes {len(vertical)} vertical hops; "
+                "the shuffle allows at most one",
+            )
+            continue
+        if any(d == "W" for d in dirs):
+            report._fail(
+                "direction-discipline",
+                "DIRECTION",
+                f"route {route.stops} moves west; rows are strictly "
+                "eastbound (producers -> routers -> consumers)",
+            )
+            continue
+        if vertical:
+            i = vertical[0]
+            src_col = route.stops[i][1]
+            if src_col not in (up_col, down_col):
+                report._fail(
+                    "direction-discipline",
+                    "DIRECTION",
+                    f"route {route.stops} moves vertically in column "
+                    f"{src_col}, which is not a router column",
+                )
+            elif dirs[i] == "S" and src_col == up_col:
+                report._fail(
+                    "direction-discipline",
+                    "DIRECTION",
+                    f"route {route.stops} moves south in the up column "
+                    f"{up_col}; polarity violation can close a cycle",
+                )
+            elif dirs[i] == "N" and src_col == down_col:
+                report._fail(
+                    "direction-discipline",
+                    "DIRECTION",
+                    f"route {route.stops} moves north in the down column "
+                    f"{down_col}; polarity violation can close a cycle",
+                )
+
+
+def _check_acyclic(
+    routes: list[Route], mesh: MeshTopology, report: ProofReport
+) -> None:
+    """Channel-dependency-graph acyclicity (no circular wait)."""
+    report.checks["channel-acyclicity"] = True
+    try:
+        ok = check_deadlock_free(routes, mesh, raise_on_cycle=True)
+    except DeadlockError as exc:
+        report._fail("channel-acyclicity", "CYCLE", str(exc))
+        return
+    except ConfigError as exc:
+        # An illegal hop has no channel; the dependency graph is undefined.
+        report._fail("channel-acyclicity", "ILLEGAL_CHANNEL", str(exc))
+        return
+    if not ok:  # pragma: no cover - raise_on_cycle covers this
+        report._fail("channel-acyclicity", "CYCLE", "cycle detected")
+
+
+def prove_schedule(
+    schedule: MeshSchedule, mesh: MeshTopology | None = None
+) -> ProofReport:
+    """Verify an explicit schedule: legality, port exclusivity, hop order.
+
+    Works on hand-built schedules too — nothing here trusts how the
+    schedule was produced.
+    """
+    mesh = mesh or MeshTopology()
+    report = ProofReport(
+        routes=len(schedule.route_phases), phases=len(schedule.phases)
+    )
+    report.checks["channel-legality"] = True
+    report.checks["port-exclusivity"] = True
+    report.checks["hop-ordering"] = True
+    for p, transfers in enumerate(schedule.phases):
+        send_ports: dict[Pos, Transfer] = {}
+        recv_ports: dict[Pos, Transfer] = {}
+        for t in transfers:
+            if not mesh.channel_allowed(t.src, t.dst):
+                report._fail(
+                    "channel-legality",
+                    "ILLEGAL_CHANNEL",
+                    f"phase {p}: {t.src} -> {t.dst} is not a same-row/"
+                    "same-column register channel",
+                )
+            if t.src in send_ports:
+                report._fail(
+                    "port-exclusivity",
+                    "PORT_CONFLICT",
+                    f"phase {p}: CPE {t.src} issues two sends "
+                    f"({send_ports[t.src].dst} and {t.dst})",
+                )
+            send_ports[t.src] = t
+            if t.dst in recv_ports:
+                report._fail(
+                    "port-exclusivity",
+                    "PORT_CONFLICT",
+                    f"phase {p}: CPE {t.dst} accepts two receives "
+                    f"(from {recv_ports[t.dst].src} and {t.src})",
+                )
+            recv_ports[t.dst] = t
+    for route, hop_phases in schedule.route_phases:
+        if any(b <= a for a, b in zip(hop_phases, hop_phases[1:])):
+            report._fail(
+                "hop-ordering",
+                "HOP_ORDER",
+                f"route {route.stops} hops are not in strictly increasing "
+                f"phases: {hop_phases}",
+            )
+    _check_acyclic(
+        [route for route, _ in schedule.route_phases], mesh, report
+    )
+    return report
+
+
+def schedule_from_plan(
+    plan: ShufflePlan, mesh: MeshTopology | None = None
+) -> MeshSchedule:
+    """The canonical time-multiplexed schedule for a plan's route set."""
+    mesh = mesh or MeshTopology(plan.roles.mesh_rows, plan.roles.mesh_cols)
+    schedule = MeshSchedule()
+    for route in plan.all_routes():
+        schedule.add_route(route, mesh)
+    return schedule
+
+
+def prove_plan(
+    plan: ShufflePlan, mesh: MeshTopology | None = None
+) -> ProofReport:
+    """Prove every Section 4.3 property of one shuffle plan.
+
+    Structural checks run over the full route set; the port-conflict
+    check runs over the canonical schedule; SPM feasibility re-validates
+    the staging layout (so a plan whose constructor was bypassed still
+    gets caught).
+    """
+    mesh = mesh or MeshTopology(plan.roles.mesh_rows, plan.roles.mesh_cols)
+    routes = plan.all_routes()
+    schedule = schedule_from_plan(plan, mesh)
+    report = prove_schedule(schedule, mesh)
+    report.routes = len(routes)
+    _check_roles(plan, report)
+    _check_directions(plan, routes, mesh, report)
+    report.checks["spm-feasibility"] = True
+    try:
+        check_staging_layout(
+            num_buffers=plan.buffers_per_consumer,
+            buffer_bytes=plan.staging_buffer_bytes,
+            spm_bytes=plan.spm_bytes,
+            reserved_bytes=plan.spm_reserved_bytes,
+            owner="consumer CPE",
+        )
+    except SpmOverflow as exc:
+        report._fail("spm-feasibility", "SPM_OVERFLOW", str(exc))
+    return report

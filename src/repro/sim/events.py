@@ -18,7 +18,7 @@ class Timeout:
 
     __slots__ = ("delay",)
 
-    def __init__(self, delay: float):
+    def __init__(self, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
         self.delay = float(delay)

@@ -90,7 +90,7 @@ class SendInterceptor:
     context manager (uninstalls on exit).
     """
 
-    def __init__(self, cluster: SimCluster):
+    def __init__(self, cluster: SimCluster) -> None:
         self.cluster = cluster
         self._original_send = cluster.send
         cluster.send = self._send  # type: ignore[method-assign]
@@ -110,7 +110,7 @@ class SendInterceptor:
     def __exit__(self, *exc: object) -> None:
         self.uninstall()
 
-    def _send(self, src, dst, tag, nbytes, payload=None, at_time=None) -> Message:
+    def _send(self, src: int, dst: int, tag: str, nbytes: int, payload: Any = None, at_time: float | None = None) -> Message:
         raise NotImplementedError  # pragma: no cover
 
 
@@ -134,7 +134,7 @@ class FaultPlan:
 class FaultInjector(SendInterceptor):
     """Installs an ordinal-based fault plan onto a cluster's send path."""
 
-    def __init__(self, cluster: SimCluster, plan: FaultPlan):
+    def __init__(self, cluster: SimCluster, plan: FaultPlan) -> None:
         self.plan = plan
         self.matched = 0
         self.dropped = 0
@@ -142,7 +142,7 @@ class FaultInjector(SendInterceptor):
         self.delayed = 0
         super().__init__(cluster)
 
-    def _send(self, src, dst, tag, nbytes, payload=None, at_time=None):
+    def _send(self, src: int, dst: int, tag: str, nbytes: int, payload: Any = None, at_time: float | None = None) -> Message:
         if not tag.startswith(self.plan.tag_prefix):
             return self._original_send(src, dst, tag, nbytes, payload, at_time)
         ordinal = self.matched
@@ -211,7 +211,7 @@ class RandomFaultInjector(SendInterceptor):
     ``fault_corruptions``) so reports can surface them.
     """
 
-    def __init__(self, cluster: SimCluster, plan: RandomFaultPlan):
+    def __init__(self, cluster: SimCluster, plan: RandomFaultPlan) -> None:
         self.plan = plan
         self.rng = substream(plan.seed, "faults", "network")
         self.matched = 0
@@ -222,7 +222,7 @@ class RandomFaultInjector(SendInterceptor):
         self.corrupted = 0
         super().__init__(cluster)
 
-    def _send(self, src, dst, tag, nbytes, payload=None, at_time=None):
+    def _send(self, src: int, dst: int, tag: str, nbytes: int, payload: Any = None, at_time: float | None = None) -> Message:
         if not tag.startswith(self.plan.tag_prefix):
             return self._original_send(src, dst, tag, nbytes, payload, at_time)
         self.matched += 1
@@ -282,7 +282,7 @@ class NodeFaultPlan:
 class NodeFaultInjector(SendInterceptor):
     """Schedules node crashes on the engine and slows straggler traffic."""
 
-    def __init__(self, cluster: SimCluster, plan: NodeFaultPlan):
+    def __init__(self, cluster: SimCluster, plan: NodeFaultPlan) -> None:
         self.plan = plan
         self.crashed: list[int] = []
         self.straggled = 0
@@ -312,7 +312,7 @@ class NodeFaultInjector(SendInterceptor):
                 )
         return extra
 
-    def _send(self, src, dst, tag, nbytes, payload=None, at_time=None):
+    def _send(self, src: int, dst: int, tag: str, nbytes: int, payload: Any = None, at_time: float | None = None) -> Message:
         if self.plan.stragglers:
             extra = self._straggle_seconds(src, dst, nbytes)
             if extra > 0.0:

@@ -25,7 +25,7 @@ from repro.sim.events import Event, Timeout
 class Process:
     """Run ``gen`` as a simulated process on ``engine``."""
 
-    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any], name: str = ""):
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any], name: str = "") -> None:
         if not isinstance(gen, Generator):
             raise SimulationError(f"Process needs a generator, got {type(gen).__name__}")
         self._engine = engine

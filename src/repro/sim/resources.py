@@ -22,7 +22,7 @@ class Server:
 
     __slots__ = ("name", "free_at", "busy_time", "jobs", "intervals")
 
-    def __init__(self, name: str = "server"):
+    def __init__(self, name: str = "server") -> None:
         self.name = name
         self.free_at = 0.0
         self.busy_time = 0.0
@@ -109,7 +109,7 @@ class ServerPool:
     divert tiny jobs to the MPE instead (the 1 KB quick path, Section 5).
     """
 
-    def __init__(self, names: list[str]):
+    def __init__(self, names: list[str]) -> None:
         if not names:
             raise SimulationError("empty server pool")
         self.servers = [Server(n) for n in names]

@@ -140,7 +140,9 @@ class CriticalPathReport:
         return t.render()
 
 
-def _clip(intervals: list[tuple[float, float]], lo: float, hi: float):
+def _clip(
+    intervals: list[tuple[float, float]], lo: float, hi: float
+) -> list[tuple[float, float]]:
     """Intervals intersected with ``[lo, hi]`` (inputs are start-sorted)."""
     out = []
     for start, finish in intervals:

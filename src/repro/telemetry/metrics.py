@@ -22,7 +22,9 @@ Label semantics follow the Prometheus conventions that matter here:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ConfigError
 
@@ -155,7 +157,9 @@ class MetricsRegistry:
         self._families: dict[str, _Family] = {}
 
     # -- family plumbing -----------------------------------------------------
-    def _child(self, name: str, kind: str, labels: dict, factory):
+    def _child(
+        self, name: str, kind: str, labels: dict, factory: Callable[[str], Any]
+    ) -> Any:
         keys = tuple(sorted(labels))
         family = self._families.get(name)
         if family is None:
@@ -180,7 +184,7 @@ class MetricsRegistry:
         return child
 
     # -- metric constructors ---------------------------------------------------
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: Any) -> Counter:
         if not labels:
             # Hot path: one dict hit in the steady state.
             c = self.counters.get(name)
@@ -188,18 +192,19 @@ class MetricsRegistry:
                 return c
         return self._child(name, "counter", labels, Counter)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._child(name, "gauge", labels, Gauge)
 
     def histogram(
-        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
     ) -> Histogram:
         return self._child(
             name, "histogram", labels, lambda n: Histogram(n, buckets)
         )
 
     # -- reads --------------------------------------------------------------------
-    def value(self, name: str, **labels) -> float:
+    def value(self, name: str, **labels: Any) -> float:
         """Read a metric's value (0.0 if it was never touched)."""
         family = self._families.get(name)
         if family is None:

@@ -21,6 +21,7 @@ off (the bench gate pins this at <= 2% harness overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ConfigError
 
@@ -49,13 +50,13 @@ class NullRecorder:
     enabled = False
     spans: tuple = ()
 
-    def open(self, name, category, parent=None, **attrs) -> int:
+    def open(self, name: str, category: str, parent: int | None = None, **attrs: Any) -> int:
         return -1
 
-    def close(self, span_id, start, finish, **attrs) -> None:
+    def close(self, span_id: int, start: float, finish: float, **attrs: Any) -> None:
         pass
 
-    def record(self, name, category, start, finish, parent=None, **attrs) -> int:
+    def record(self, name: str, category: str, start: float, finish: float, parent: int | None = None, **attrs: Any) -> int:
         return -1
 
     def __len__(self) -> int:
@@ -80,7 +81,7 @@ class SpanRecorder:
 
     # -- recording -------------------------------------------------------------
     def open(self, name: str, category: str, parent: int | None = None,
-             **attrs) -> int:
+             **attrs: Any) -> int:
         """Allocate a span id now; times arrive at :meth:`close`."""
         if parent is not None and parent >= 0:
             if not 0 <= parent < len(self.spans):
@@ -92,7 +93,7 @@ class SpanRecorder:
                                attrs=dict(attrs)))
         return span_id
 
-    def close(self, span_id: int, start: float, finish: float, **attrs) -> None:
+    def close(self, span_id: int, start: float, finish: float, **attrs: Any) -> None:
         if span_id < 0:
             return
         span = self.spans[span_id]
@@ -108,7 +109,7 @@ class SpanRecorder:
             span.attrs.update(attrs)
 
     def record(self, name: str, category: str, start: float, finish: float,
-               parent: int | None = None, **attrs) -> int:
+               parent: int | None = None, **attrs: Any) -> int:
         """Open and close in one call (for windows already known)."""
         span_id = self.open(name, category, parent=parent, **attrs)
         self.close(span_id, start, finish)

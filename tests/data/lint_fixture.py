@@ -1,0 +1,36 @@
+"""Deliberately nondeterministic module — every lint rule fires here.
+
+Never imported; linted by tests/test_sanitizers_lint.py with the
+``sim-core`` scope forced, to prove ``repro lint`` rejects each hazard
+class (REP101-REP105) and exits nonzero.
+"""
+
+import random
+import time
+from dataclasses import dataclass
+
+
+def wall_clock() -> float:
+    return time.perf_counter()  # REP101: host clock in simulated code
+
+
+def stray_draw() -> float:
+    return random.random()  # REP102: global RNG outside sim.rng
+
+
+def hash_ordered(items: list[int]) -> list[int]:
+    out = []
+    for x in set(items):  # REP103: hash-ordered iteration
+        out.append(x)
+    return out
+
+
+def merged(a: list[int], b: list[int]) -> list[int]:
+    return sorted(set(a) | set(b))  # REP104: set union merge
+
+
+@dataclass
+class HotPathMessage:  # REP105: hot dataclass without slots=True
+    src: int
+    dst: int
+    payload: bytes

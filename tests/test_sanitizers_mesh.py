@@ -1,0 +1,177 @@
+"""Mesh-route conflict prover: paper schedule accepted, bad ones rejected."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import BFSConfig, RoleLayout
+from repro.core.shuffle import ShufflePlan
+from repro.errors import SpmOverflow
+from repro.machine.mesh import MeshTopology, Route
+from repro.sanitizers import (
+    MeshSchedule,
+    Transfer,
+    prove_plan,
+    prove_schedule,
+    schedule_from_plan,
+)
+
+ALL_CHECKS = {
+    "channel-legality",
+    "port-exclusivity",
+    "hop-ordering",
+    "channel-acyclicity",
+    "role-partition",
+    "direction-discipline",
+    "spm-feasibility",
+}
+
+
+def violation_codes(report) -> set[str]:
+    return {v.code for v in report.violations}
+
+
+# --- the paper schedule passes ------------------------------------------------
+def test_paper_plan_proves_clean():
+    plan = ShufflePlan.from_config(BFSConfig(), 64)
+    report = prove_plan(plan)
+    assert report.ok, report.render()
+    assert set(report.checks) == ALL_CHECKS
+    assert all(report.checks.values())
+    assert report.routes == plan.roles.n_producers * 64
+    assert report.phases > 0
+    assert "PASS" in report.render()
+
+
+def test_greedy_schedule_is_conflict_free_by_construction():
+    plan = ShufflePlan.from_config(BFSConfig(), 16)
+    schedule = schedule_from_plan(plan)
+    report = prove_schedule(schedule)
+    assert report.ok, report.render()
+    # Re-verify the port-exclusivity invariant the scheduler promises.
+    for transfers in schedule.phases:
+        sends = [t.src for t in transfers]
+        recvs = [t.dst for t in transfers]
+        assert len(sends) == len(set(sends))
+        assert len(recvs) == len(set(recvs))
+
+
+# --- seeded bad schedules are rejected ----------------------------------------
+def test_turn_cycle_is_rejected():
+    """Four routes whose channel dependencies close a circular wait."""
+    mesh = MeshTopology()
+    schedule = MeshSchedule()
+    ring = [(0, 0), (0, 7), (3, 7), (3, 0)]
+    for i in range(4):
+        a, b, c = ring[i], ring[(i + 1) % 4], ring[(i + 2) % 4]
+        schedule.add_route(Route.through(a, b, c), mesh)
+    report = prove_schedule(schedule, mesh)
+    assert not report.ok
+    assert violation_codes(report) == {"CYCLE"}
+    assert report.checks["channel-acyclicity"] is False
+    # The greedy placement itself stayed port-clean — only the dependency
+    # structure is broken, exactly what the Dally & Seitz test is for.
+    assert report.checks["port-exclusivity"] is True
+
+
+def test_double_send_and_double_recv_ports_rejected():
+    route_a = Route.through((0, 0), (0, 1))
+    route_b = Route.through((0, 0), (0, 2))
+    route_c = Route.through((1, 2), (0, 2))
+    schedule = MeshSchedule(
+        phases=[
+            [Transfer((0, 0), (0, 1)), Transfer((0, 0), (0, 2)),
+             Transfer((1, 2), (0, 2))],
+        ],
+        route_phases=[(route_a, [0]), (route_b, [0]), (route_c, [0])],
+    )
+    report = prove_schedule(schedule)
+    assert not report.ok
+    assert report.checks["port-exclusivity"] is False
+    conflicts = [v for v in report.violations if v.code == "PORT_CONFLICT"]
+    assert len(conflicts) == 2  # one double-send, one double-recv
+    assert any("two sends" in v.message for v in conflicts)
+    assert any("two receives" in v.message for v in conflicts)
+
+
+def test_hop_order_regression_rejected():
+    route = Route.through((0, 0), (0, 4), (2, 4))
+    schedule = MeshSchedule(
+        phases=[
+            [Transfer((0, 4), (2, 4))],
+            [Transfer((0, 0), (0, 4))],
+        ],
+        route_phases=[(route, [1, 0])],  # second hop fires before the first
+    )
+    report = prove_schedule(schedule)
+    assert not report.ok
+    assert "HOP_ORDER" in violation_codes(report)
+
+
+def test_diagonal_channel_rejected():
+    route = Route.through((0, 0), (1, 1))
+    schedule = MeshSchedule(
+        phases=[[Transfer((0, 0), (1, 1))]],
+        route_phases=[(route, [0])],
+    )
+    report = prove_schedule(schedule)
+    assert not report.ok
+    assert "ILLEGAL_CHANNEL" in violation_codes(report)
+
+
+class _WrongPolarityPlan(ShufflePlan):
+    """Plan whose single route goes south in the strictly-north up column."""
+
+    def all_routes(self):
+        return [Route.through((0, 0), (0, 4), (3, 4), (3, 6))]
+
+
+def test_polarity_violation_rejected():
+    plan = _WrongPolarityPlan(roles=RoleLayout(), num_destinations=4)
+    report = prove_plan(plan)
+    assert not report.ok
+    assert "DIRECTION" in violation_codes(report)
+    assert report.checks["direction-discipline"] is False
+    assert any("up column" in v.message for v in report.violations)
+
+
+class _WestboundPlan(ShufflePlan):
+    def all_routes(self):
+        return [Route.through((0, 7), (0, 5), (2, 5), (2, 6))]
+
+
+def test_westbound_row_hop_rejected():
+    report = prove_plan(_WestboundPlan(roles=RoleLayout(), num_destinations=4))
+    assert "DIRECTION" in violation_codes(report)
+    assert any("west" in v.message for v in report.violations)
+
+
+def test_spm_overflow_caught_even_when_constructor_bypassed():
+    # The normal constructor refuses this layout outright...
+    with pytest.raises(SpmOverflow):
+        ShufflePlan(
+            roles=RoleLayout(), num_destinations=64,
+            staging_buffer_bytes=32 * 1024,
+        )
+    # ...so smuggle it past __init__; the prover must still catch it.
+    plan = object.__new__(ShufflePlan)
+    for name, value in (
+        ("roles", RoleLayout()),
+        ("num_destinations", 64),
+        ("staging_buffer_bytes", 32 * 1024),
+        ("spm_reserved_bytes", 4096),
+        ("spm_bytes", 64 * 1024),
+    ):
+        object.__setattr__(plan, name, value)
+    report = prove_plan(plan)
+    assert not report.ok
+    assert "SPM_OVERFLOW" in violation_codes(report)
+    assert report.checks["spm-feasibility"] is False
+
+
+# --- CLI ----------------------------------------------------------------------
+def test_cli_prove_mesh_paper_layout(capsys):
+    assert main(["prove-mesh", "--destinations", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "FAIL" not in out

@@ -1,0 +1,229 @@
+"""Runtime sanitizers: SPM write conflicts, payload mutation, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import BFSConfig
+from repro.core.shuffle import ShufflePlan
+from repro.errors import ReproError
+from repro.graph500.runner import Graph500Runner
+from repro.network.simmpi import SimCluster
+from repro.sanitizers import (
+    MessageSanitizer,
+    SanitizerViolation,
+    SpmWriteSanitizer,
+    check_determinism,
+    payload_digest,
+)
+from repro.sim.engine import Engine
+
+
+# --- SPM write-conflict detector ----------------------------------------------
+def test_spm_disjoint_claims_pass():
+    san = SpmWriteSanitizer()
+    san.begin_phase("p0")
+    san.claim((0, 6), 0, 1024)
+    san.claim((1, 6), 1024, 2048)
+    san.claim((0, 6), 0, 1024)  # same CPE re-claiming its region is fine
+    assert san.conflicts == []
+    assert san.claims_checked == 3
+
+
+def test_spm_overlap_between_cpes_raises():
+    san = SpmWriteSanitizer()
+    san.begin_phase("p0")
+    san.claim((0, 6), 0, 1024)
+    with pytest.raises(SanitizerViolation, match="SPM write conflict"):
+        san.claim((1, 6), 512, 1536)
+    assert isinstance(san.conflicts[0].phase, str)
+
+
+def test_spm_violation_is_a_repro_error():
+    assert issubclass(SanitizerViolation, ReproError)
+    assert issubclass(SanitizerViolation, RuntimeError)
+
+
+def test_spm_accumulate_mode_and_phase_reset():
+    san = SpmWriteSanitizer(raise_on_violation=False)
+    san.begin_phase("p0")
+    san.claim((0, 6), 0, 1024)
+    san.claim((1, 6), 0, 1024)
+    assert len(san.conflicts) == 1
+    # A new phase clears the claim table: the same region is claimable again.
+    san.begin_phase("p1")
+    san.claim((1, 6), 0, 1024)
+    assert len(san.conflicts) == 1
+    assert san.phases_checked == 2
+
+
+def test_spm_empty_region_rejected():
+    san = SpmWriteSanitizer()
+    san.begin_phase("p0")
+    with pytest.raises(SanitizerViolation, match="empty or negative"):
+        san.claim((0, 6), 1024, 1024)
+
+
+def test_spm_bucket_writes_clean_on_paper_plan():
+    plan = ShufflePlan.from_config(BFSConfig(), 64)
+    san = SpmWriteSanitizer()
+    san.check_bucket_writes(plan, np.arange(64), phase="node0:fwd@0")
+    assert san.conflicts == []
+    assert san.phases_checked == 1
+    assert san.claims_checked == 64
+
+
+class _BrokenOwnershipPlan:
+    """consumer_for flip-flops: two CPEs end up owning one slot's region."""
+
+    staging_buffer_bytes = 1024
+    num_destinations = 8
+
+    def __init__(self):
+        self.calls = 0
+
+    def consumer_for(self, slot):
+        self.calls += 1
+        return (0, 6) if self.calls % 2 else (1, 6)
+
+
+def test_spm_bucket_writes_catch_broken_ownership():
+    san = SpmWriteSanitizer(raise_on_violation=False)
+    # 0 and 8 alias to slot 0 -> same region, but the broken plan hands it
+    # to two different consumers.
+    san.check_bucket_writes(_BrokenOwnershipPlan(), [0, 8], phase="bad")
+    assert len(san.conflicts) == 1
+    assert "dest 8" in san.conflicts[0].second.label
+
+
+# --- payload digests ----------------------------------------------------------
+def test_payload_digest_stability_and_sensitivity():
+    a = np.arange(8, dtype=np.int64)
+    assert payload_digest(a) == payload_digest(a.copy())
+    assert payload_digest(a) != payload_digest(a.astype(np.int32))
+    assert payload_digest((a, 3)) == payload_digest((a.copy(), 3))
+    assert payload_digest({"k": a}) != payload_digest({"k": a + 1})
+    assert payload_digest(None) == payload_digest(None)
+    b = a.copy()
+    before = payload_digest(b)
+    b[0] = 99
+    assert payload_digest(b) != before
+
+
+# --- message-mutation detector ------------------------------------------------
+def _cluster_pair():
+    engine = Engine()
+    cluster = SimCluster(engine, num_nodes=2)
+    delivered = []
+    cluster.register(0, delivered.append)
+    cluster.register(1, delivered.append)
+    return engine, cluster, delivered
+
+
+def test_message_sanitizer_clean_send():
+    engine, cluster, delivered = _cluster_pair()
+    san = MessageSanitizer(cluster)
+    payload = np.arange(4)
+    cluster.send(0, 1, "data", 32, payload)
+    engine.run()
+    assert len(delivered) == 1
+    assert san.messages_checked == 1
+    assert san.violations == []
+
+
+def test_message_sanitizer_detects_mutation_after_send():
+    engine, cluster, _ = _cluster_pair()
+    MessageSanitizer(cluster)
+    payload = np.arange(4)
+    cluster.send(0, 1, "data", 32, payload)
+    payload[0] = 99  # mutate the in-flight buffer
+    with pytest.raises(SanitizerViolation, match="mutated after send"):
+        engine.run()
+
+
+def test_message_sanitizer_covers_batch_sends():
+    engine, cluster, delivered = _cluster_pair()
+    san = MessageSanitizer(cluster, raise_on_violation=False)
+    payloads = [np.arange(3), np.arange(3)]
+    cluster.send_batch(
+        0, np.array([1, 1]), "batch", np.array([24, 24]), payloads
+    )
+    payloads[1][2] = -1
+    engine.run()
+    assert len(delivered) == 2
+    assert san.messages_checked == 2
+    assert len(san.violations) == 1
+    assert "batch" in san.violations[0].render()
+
+
+def test_message_sanitizer_uninstall_restores_cluster():
+    engine, cluster, delivered = _cluster_pair()
+    san = MessageSanitizer(cluster)
+    san.uninstall()
+    assert "send" not in cluster.__dict__
+    assert "_deliver" not in cluster.__dict__
+    payload = np.arange(4)
+    cluster.send(0, 1, "data", 32, payload)
+    payload[0] = 99  # no longer watched
+    engine.run()
+    assert len(delivered) == 1
+    assert san.messages_checked == 0
+
+
+# --- determinism sanitizer ----------------------------------------------------
+def test_check_determinism_passes_small_scale():
+    result = check_determinism(
+        scale=8, nodes=2, num_roots=2, runs=2, validate=True
+    )
+    assert result.ok, result.render()
+    assert len(result.digests) == 2
+    assert result.digests[0].report == result.digests[1].report
+    assert "deterministic across 2 run(s)" in result.render()
+
+
+def test_determinism_report_flags_mismatch():
+    result = check_determinism(scale=8, nodes=2, num_roots=1, runs=2)
+    result.digests[1].spans = "0" * 64
+    result.mismatches.append("spans digest of run 1 differs from run 0")
+    assert not result.ok
+    assert "MISMATCH" in result.render()
+
+
+# --- runner integration -------------------------------------------------------
+def test_runner_sanitize_forces_sequential_and_reports_counters():
+    runner = Graph500Runner(
+        scale=8, nodes=2, validate="none", workers=4, sanitize=True
+    )
+    assert runner._effective_workers(num_roots=4) == 1
+    report = runner.run(num_roots=2)
+    assert report.extra["sanitizer_messages_checked"] > 0
+    assert report.extra["sanitizer_mutations"] == 0
+    assert report.extra["sanitizer_spm_phases"] > 0
+    assert report.extra["sanitizer_spm_conflicts"] == 0
+
+
+def test_runner_without_sanitize_has_no_counters():
+    runner = Graph500Runner(scale=8, nodes=2, validate="none")
+    report = runner.run(num_roots=1)
+    assert "sanitizer_messages_checked" not in report.extra
+
+
+def test_cli_sanitize_command(capsys):
+    rc = main(
+        ["sanitize", "--scale", "8", "--nodes", "2", "--roots", "1",
+         "--no-validate"]
+    )
+    assert rc == 0
+    assert "deterministic" in capsys.readouterr().out
+
+
+def test_cli_graph500_sanitize_flag(capsys):
+    rc = main(
+        ["graph500", "--scale", "8", "--nodes", "2", "--roots", "1",
+         "--sanitize"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sanitizer_messages_checked" in out
