@@ -1,10 +1,14 @@
-"""Resilience overhead: what reliability costs on a fault-free machine.
+"""Resilience overhead: what reliability and durability cost.
 
 The paper's runs assume a perfect interconnect; the resilience layer buys
 fault tolerance with protocol overhead. This benchmark quantifies it:
 simulated time and message volume for (1) the bare kernel, (2) the
-reliable transport (per-message acks), (3) checkpointing every level, and
-(4) the full stack riding out an actual mid-traversal node crash.
+reliable transport (per-message acks), (3) buddy checkpointing every
+level, (4) RS(4, 2) erasure-coded checkpointing every level, and the
+full stacks riding out an actual mid-traversal node crash — head-to-head
+on storage bytes, checkpoint traffic, and recovery time, where RS should
+hold <= 1.6x storage against buddy's 2.0x while surviving twice the
+simultaneous losses.
 """
 
 import numpy as np
@@ -15,28 +19,34 @@ from repro.graph500.validate import validate_bfs_result
 from repro.resilience import ResilienceConfig
 from repro.sim.faults import NodeFaultInjector, NodeFaultPlan
 from repro.utils.tables import Table
-from repro.utils.units import fmt_count, fmt_time
+from repro.utils.units import fmt_bytes, fmt_count, fmt_time
 
 SCALE = 13
 NODES = 8
 CFG = BFSConfig(hub_count_topdown=64, hub_count_bottomup=64)
 
+_BUDDY = dict(reliable_transport=True, checkpoint_interval=1)
+_RS = dict(
+    reliable_transport=True,
+    checkpoint_interval=1,
+    checkpoint_mode="rs",
+    rs_data_shards=4,
+    rs_parity_shards=2,
+)
+
 MODES = {
-    "baseline": dict(resilience=None, crash=False),
+    "baseline": dict(resilience=None, crash=()),
     "reliable": dict(
-        resilience=ResilienceConfig(reliable_transport=True), crash=False
+        resilience=ResilienceConfig(reliable_transport=True), crash=()
     ),
-    "reliable+ckpt": dict(
-        resilience=ResilienceConfig(
-            reliable_transport=True, checkpoint_interval=1
-        ),
-        crash=False,
+    "buddy-ckpt": dict(resilience=ResilienceConfig(**_BUDDY), crash=()),
+    "rs-ckpt": dict(resilience=ResilienceConfig(**_RS), crash=()),
+    "buddy+crash": dict(
+        resilience=ResilienceConfig(**_BUDDY), crash=(NODES // 2,)
     ),
-    "reliable+ckpt+crash": dict(
-        resilience=ResilienceConfig(
-            reliable_transport=True, checkpoint_interval=1
-        ),
-        crash=True,
+    "rs+crash": dict(resilience=ResilienceConfig(**_RS), crash=(NODES // 2,)),
+    "rs+2crash": dict(
+        resilience=ResilienceConfig(**_RS), crash=(NODES // 2, NODES - 1)
     ),
 }
 
@@ -53,7 +63,10 @@ def run_modes():
         )
         if mode["crash"]:
             NodeFaultInjector(
-                bfs.cluster, NodeFaultPlan(crash_at={NODES // 2: 2e-4})
+                bfs.cluster,
+                NodeFaultPlan(
+                    crash_at={rank: 2e-4 for rank in mode["crash"]}
+                ),
             )
         result = bfs.run(root)
         validate_bfs_result(graph, edges, root, result.parent)
@@ -61,21 +74,34 @@ def run_modes():
     return out
 
 
+def _storage_ratio(result) -> float:
+    raw = result.stats.get("checkpoint_raw_bytes", 0.0)
+    return result.stats.get("checkpoint_storage_bytes", 0.0) / raw if raw else 0.0
+
+
 def render(out) -> str:
     base = out["baseline"]
     t = Table(
-        ["mode", "sim time", "overhead", "messages", "ckpt time", "recoveries"],
-        title=f"Resilience overhead: scale-{SCALE} Kronecker, {NODES} nodes",
+        ["mode", "sim time", "overhead", "messages", "ckpt time",
+         "storage", "ckpt traffic", "recov", "recov time"],
+        title=(
+            f"Resilience overhead: scale-{SCALE} Kronecker, {NODES} nodes "
+            f"(buddy vs RS(4,2))"
+        ),
     )
     for name, result in out.items():
         overhead = result.sim_seconds / base.sim_seconds - 1.0
+        ratio = _storage_ratio(result)
         t.add_row([
             name,
             fmt_time(result.sim_seconds),
             f"{overhead:+.1%}",
             fmt_count(int(result.stats["messages"])),
             fmt_time(result.stats.get("checkpoint_seconds", 0.0)),
+            f"{ratio:.3f}x" if ratio else "-",
+            fmt_bytes(int(result.stats.get("checkpoint_traffic_bytes", 0))),
             int(result.stats.get("recoveries", 0)),
+            fmt_time(result.stats.get("recovery_seconds", 0.0)),
         ])
     return t.render()
 
@@ -84,7 +110,9 @@ def test_resilience_overhead(benchmark, save_report):
     out = benchmark.pedantic(run_modes, rounds=1, iterations=1)
     save_report("resilience_overhead", render(out))
     base, reliable = out["baseline"], out["reliable"]
-    ckpt, crash = out["reliable+ckpt"], out["reliable+ckpt+crash"]
+    buddy, rs = out["buddy-ckpt"], out["rs-ckpt"]
+    buddy_crash, rs_crash = out["buddy+crash"], out["rs+crash"]
+    rs_double = out["rs+2crash"]
     # Every mode computes the identical tree.
     for result in out.values():
         assert np.array_equal(result.depths(), base.depths())
@@ -93,8 +121,20 @@ def test_resilience_overhead(benchmark, save_report):
     assert reliable.stats["messages"] > 1.9 * base.stats["messages"]
     assert reliable.sim_seconds <= base.sim_seconds * 1.01
     # Checkpoints charge real (bounded) time...
-    assert ckpt.stats["checkpoints"] >= 1
-    assert 0 < ckpt.stats["checkpoint_seconds"] < base.sim_seconds
-    # ...and buy recovery: the crash run replays levels instead of dying.
-    assert crash.stats["recoveries"] == 1
-    assert crash.sim_seconds > ckpt.sim_seconds
+    for ckpt in (buddy, rs):
+        assert ckpt.stats["checkpoints"] >= 1
+        assert 0 < ckpt.stats["checkpoint_seconds"] < base.sim_seconds
+    # ...and buy recovery: the crash runs replay levels instead of dying.
+    assert buddy_crash.stats["recoveries"] == 1
+    assert rs_crash.stats["recoveries"] == 1
+    assert rs_double.stats["recoveries"] >= 1  # two simultaneous losses
+    for crash, ckpt in ((buddy_crash, buddy), (rs_crash, rs)):
+        assert crash.sim_seconds > ckpt.sim_seconds
+        assert crash.stats["recovery_seconds"] > 0
+    # The durability headline: RS holds the checkpoint at <= 1.6x the
+    # serialized bytes where buddy pays a full 2.0x copy.
+    assert _storage_ratio(buddy) == 2.0
+    assert 1.5 <= _storage_ratio(rs) <= 1.6
+    # RS recovery decodes + heals shards (it did real codec work).
+    assert rs_crash.stats["shards_rebuilt"] > 0
+    assert rs_double.stats["shards_rebuilt"] > rs_crash.stats["shards_rebuilt"]

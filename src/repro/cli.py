@@ -10,7 +10,9 @@ Commands:
 - ``lint`` — determinism lint over the sources (CI gate);
 - ``prove-mesh`` — statically prove a shuffle schedule conflict- and
   deadlock-free;
-- ``sanitize`` — double-run determinism check (digest diff).
+- ``sanitize`` — double-run determinism check (digest diff);
+- ``chaos`` — seeded chaos campaign over the erasure-coded checkpoint
+  store, asserting bit-identical recovery against the fault-free run.
 """
 
 from __future__ import annotations
@@ -21,11 +23,27 @@ import sys
 from repro.utils.tables import Table
 
 
-def _build_resilience(args: argparse.Namespace):
-    """Fault/resilience knobs -> (resilience, fault_plan, node_faults)."""
+def _parse_rank_value(specs, flag: str, default: float, cast=float):
+    """Parse repeatable ``RANK[:VALUE]`` flags into a ``{rank: value}`` map."""
     from repro.errors import ConfigError
+
+    out = {}
+    for spec in specs or []:
+        rank, _, value = spec.partition(":")
+        try:
+            out[int(rank)] = cast(value) if value else default
+        except ValueError:
+            raise ConfigError(
+                f"bad {flag} {spec!r}: expected RANK[:VALUE]"
+            ) from None
+    return out
+
+
+def _build_resilience(args: argparse.Namespace):
+    """Fault/resilience knobs ->
+    (resilience, fault_plan, node_faults, disk_faults)."""
     from repro.resilience.config import ResilienceConfig
-    from repro.sim.faults import NodeFaultPlan, RandomFaultPlan
+    from repro.sim.faults import DiskFaultPlan, NodeFaultPlan, RandomFaultPlan
 
     resilience = None
     if args.reliable or args.checkpoint_interval > 0:
@@ -35,6 +53,10 @@ def _build_resilience(args: argparse.Namespace):
             max_retries=args.max_retries,
             seed=args.fault_seed,
             checkpoint_interval=args.checkpoint_interval,
+            checkpoint_mode=args.checkpoint_mode,
+            rs_data_shards=args.rs_k,
+            rs_parity_shards=args.rs_m,
+            scrub_interval=args.scrub_interval,
         )
     fault_plan = RandomFaultPlan(
         drop_rate=args.drop_rate,
@@ -50,24 +72,24 @@ def _build_resilience(args: argparse.Namespace):
     crash_at = (
         {args.crash_node: args.crash_at} if args.crash_node is not None else {}
     )
-    stragglers = {}
-    for spec in args.straggler or []:
-        rank, _, factor = spec.partition(":")
-        try:
-            stragglers[int(rank)] = float(factor or 2.0)
-        except ValueError:
-            raise ConfigError(
-                f"bad --straggler {spec!r}: expected RANK[:FACTOR]"
-            ) from None
+    stragglers = _parse_rank_value(args.straggler, "--straggler", 2.0)
     if crash_at or stragglers:
         node_faults = NodeFaultPlan(crash_at=crash_at, stragglers=stragglers)
-    return resilience, fault_plan, node_faults
+    disk_faults = None
+    disk_plan = DiskFaultPlan(
+        lose_at=_parse_rank_value(args.disk_lose, "--disk-lose", 1e-4),
+        corrupt_at=_parse_rank_value(args.disk_corrupt, "--disk-corrupt", 1e-4),
+        degrade=_parse_rank_value(args.disk_degrade, "--disk-degrade", 2.0),
+    )
+    if disk_plan.any_faults:
+        disk_faults = disk_plan
+    return resilience, fault_plan, node_faults, disk_faults
 
 
 def _cmd_graph500(args: argparse.Namespace) -> int:
     from repro.graph500.runner import Graph500Runner
 
-    resilience, fault_plan, node_faults = _build_resilience(args)
+    resilience, fault_plan, node_faults, disk_faults = _build_resilience(args)
     runner = Graph500Runner(
         scale=args.scale,
         nodes=args.nodes,
@@ -77,6 +99,7 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         resilience=resilience,
         fault_plan=fault_plan,
         node_faults=node_faults,
+        disk_faults=disk_faults,
         on_root_failure=args.on_root_failure,
         workers=args.workers,
         sanitize=args.sanitize,
@@ -140,6 +163,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for name in ("trace.json", "run_report.json", "summary.csv", "summary.md"):
         print(f"wrote {out_dir / name}")
     return 0 if check["within_1pct"] else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos campaign: randomized faults vs the fault-free oracle."""
+    import pathlib
+
+    from repro.durability import ChaosConfig, run_campaign
+    from repro.telemetry import Telemetry
+
+    cfg = ChaosConfig(
+        scale=args.scale,
+        nodes=args.nodes,
+        scenarios=args.scenarios,
+        seed=args.seed,
+        variant=args.variant,
+        nodes_per_super_node=args.super_node,
+        data_shards=args.rs_k,
+        parity_shards=args.rs_m,
+        max_losses=args.max_losses,
+        checkpoint_interval=args.checkpoint_interval,
+        scrub_interval=args.scrub_interval,
+    )
+    tel = Telemetry()
+    report = run_campaign(cfg, telemetry=tel)
+    print(report.render())
+    if args.out:
+        pathlib.Path(args.out).write_text(report.to_json() + "\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -396,6 +448,16 @@ def build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--straggler", action="append", metavar="RANK[:FACTOR]",
                        help="slow a rank's traffic by FACTOR (default 2x); "
                             "repeatable")
+    fault.add_argument("--disk-lose", action="append", metavar="RANK[:TIME]",
+                       help="lose RANK's checkpoint disk at simulated TIME "
+                            "(default 1e-4); repeatable")
+    fault.add_argument("--disk-corrupt", action="append", metavar="RANK[:TIME]",
+                       help="flip a byte of one checkpoint shard on RANK at "
+                            "TIME (default 1e-4); repeatable")
+    fault.add_argument("--disk-degrade", action="append",
+                       metavar="RANK[:FACTOR]",
+                       help="slow RANK's checkpoint I/O by FACTOR "
+                            "(default 2x); repeatable")
     res = p.add_argument_group("resilience")
     res.add_argument("--reliable", action="store_true",
                      help="enable the ack/retransmit reliable transport")
@@ -403,6 +465,18 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--max-retries", type=int, default=5)
     res.add_argument("--checkpoint-interval", type=int, default=0,
                      help="checkpoint every K levels (0 = off)")
+    res.add_argument("--checkpoint-mode", choices=["buddy", "rs"],
+                     default="buddy",
+                     help="buddy: one full copy (2x storage, survives 1 "
+                          "loss); rs: erasure-coded shards ((k+m)/k "
+                          "storage, survives m losses)")
+    res.add_argument("--rs-k", type=int, default=4,
+                     help="RS data shards per snapshot (rs mode)")
+    res.add_argument("--rs-m", type=int, default=2,
+                     help="RS parity shards = simultaneous-loss budget")
+    res.add_argument("--scrub-interval", type=int, default=0,
+                     help="scrub shard checksums every K levels (0 = off; "
+                          "rs mode)")
     res.add_argument("--on-root-failure", choices=["abort", "skip"],
                      default="abort",
                      help="skip: record a failed root and keep benchmarking")
@@ -466,6 +540,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for trace.json / run_report.json / "
                         "summary.csv / summary.md")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: randomized disk/node faults vs the "
+             "fault-free oracle (RS durability acceptance harness)",
+    )
+    p.add_argument("--scale", type=int, default=13)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--scenarios", type=int, default=50)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--variant", default="relay-cpe")
+    p.add_argument("--super-node", type=int, default=4)
+    p.add_argument("--rs-k", type=int, default=4,
+                   help="RS data shards per snapshot")
+    p.add_argument("--rs-m", type=int, default=2,
+                   help="RS parity shards = simultaneous-loss budget")
+    p.add_argument("--max-losses", type=int, default=2,
+                   help="max destructive faults per scenario (capped at m)")
+    p.add_argument("--checkpoint-interval", type=int, default=1)
+    p.add_argument("--scrub-interval", type=int, default=1)
+    p.add_argument("--out", default=None,
+                   help="write the campaign report JSON to this path")
+    p.set_defaults(func=_cmd_chaos)
 
     sub.add_parser("fig11", help="modelled Figure 11 sweep").set_defaults(
         func=_cmd_fig11

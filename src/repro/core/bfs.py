@@ -38,6 +38,8 @@ from repro.machine.node import SunwayNode
 from repro.machine.specs import MachineSpec, TAIHULIGHT
 from repro.network.codec import encoded_size
 from repro.network.simmpi import Message, SimCluster
+from repro.durability.rs import RSCode
+from repro.durability.shards import ShardedCheckpointStore, ShardPlacement
 from repro.resilience.channel import ReliableChannel
 from repro.resilience.checkpoint import Checkpoint, CheckpointStore
 from repro.resilience.config import ResilienceConfig
@@ -242,9 +244,15 @@ class DistributedBFS:
         self.channel: ReliableChannel | None = None
         if self.resilience.reliable_transport:
             self.channel = ReliableChannel(self.cluster, self.resilience)
-        self.checkpoints: CheckpointStore | None = (
-            CheckpointStore() if self.resilience.checkpoint_interval > 0 else None
+        #: Buddy or erasure-coded store per ``resilience.checkpoint_mode``
+        #: (built eagerly so an infeasible RS placement fails construction).
+        self.checkpoints: CheckpointStore | ShardedCheckpointStore | None = (
+            self._make_checkpoint_store()
         )
+        #: rank -> I/O slowdown factor >= 1 for a degraded checkpoint disk;
+        #: populated by :class:`repro.sim.faults.DiskFaultInjector` and read
+        #: by the checkpoint/scrub/recovery cost models.
+        self.disk_slowdowns: dict[int, float] = {}
 
         # --- construction-time estimate (not part of TEPS) ----------------------
         self.construction_seconds = self._estimate_construction_time()
@@ -255,6 +263,8 @@ class DistributedBFS:
         self._hub_settled = 0
         self._recoveries = 0
         self._checkpoint_seconds = 0.0
+        self._recovery_seconds = 0.0
+        self._scrub_seconds = 0.0
         #: node id -> its termination-marker peer list (config-fixed).
         self._peer_cache: dict[int, list[int]] = {}
 
@@ -773,15 +783,52 @@ class DistributedBFS:
         return subrounds
 
     # ------------------------------------------------------ checkpoint/recovery --
+    def _make_checkpoint_store(
+        self,
+    ) -> CheckpointStore | ShardedCheckpointStore | None:
+        """A fresh store per ``resilience.checkpoint_mode`` (None when off)."""
+        if self.resilience.checkpoint_interval <= 0:
+            return None
+        if self.resilience.checkpoint_mode == "rs":
+            code = RSCode(
+                self.resilience.rs_data_shards, self.resilience.rs_parity_shards
+            )
+            placement = ShardPlacement(
+                num_nodes=self.num_nodes,
+                nodes_per_super_node=self.cluster.topology.nodes_per_super_node,
+                data_shards=code.data_shards,
+                parity_shards=code.parity_shards,
+            )
+            return ShardedCheckpointStore(code, placement)
+        return CheckpointStore()
+
     def _checkpoint_transfer_seconds(self, nbytes: int) -> float:
         """Shipping one node's snapshot to its buddy node over the NIC."""
         t = self.spec.taihulight
         return nbytes / t.nic_effective_bandwidth + t.message_overhead
 
+    def _disk_factor(self) -> float:
+        """Checkpoint I/O runs in parallel across nodes, so the slowest
+        (possibly degraded) disk gates every barrier-synchronous pass."""
+        if not self.disk_slowdowns:
+            return 1.0
+        return max(1.0, max(self.disk_slowdowns.values()))
+
+    def _store_has_checkpoint(self) -> bool:
+        store = self.checkpoints
+        if store is None:
+            return False
+        if isinstance(store, ShardedCheckpointStore):
+            return store.has_checkpoint
+        return store.last is not None
+
     def _take_checkpoint(self, level: int) -> None:
         """Snapshot the level barrier into the store and charge its cost:
-        every node writes to buddy memory in parallel, plus a barrier."""
+        every node writes its copy (buddy) or its k+m shard scatter (RS)
+        in parallel, plus a barrier."""
         assert self.checkpoints is not None
+        store = self.checkpoints
+        traffic_before = store.bytes_written
         ckpt = Checkpoint(
             level=level,
             snapshots=tuple(s.snapshot() for s in self.states),
@@ -793,14 +840,65 @@ class DistributedBFS:
             ),
             policy_state=self.policy.state,
         )
-        self.checkpoints.save(ckpt)
-        cost = (
-            self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
-            + self._allreduce_time()
-        )
+        store.save(ckpt)
+        if isinstance(store, ShardedCheckpointStore):
+            # Each node scatters k+m shards of 1/k snapshot size to its
+            # holders: ~(k+m)/k of the buddy byte volume, one per-message
+            # overhead per shard.
+            cost = (
+                store.code.total_shards
+                * self._checkpoint_transfer_seconds(store.max_shard_bytes)
+                * self._disk_factor()
+                + self._allreduce_time()
+            )
+        else:
+            cost = (
+                self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
+                * self._disk_factor()
+                + self._allreduce_time()
+            )
         self._checkpoint_seconds += cost
         self._mark(self._t_max + cost)
         self.cluster.stats.counter("checkpoints").add()
+        self.cluster.stats.counter("checkpoint_bytes").add(
+            store.bytes_written - traffic_before
+        )
+
+    def _run_scrub(self) -> None:
+        """Background shard-checksum scrub at the level barrier (RS only):
+        read every shard, verify its CRC, decode + re-place any that are
+        corrupt or missing while >= k healthy shards survive per group."""
+        store = self.checkpoints
+        assert isinstance(store, ShardedCheckpointStore)
+        if not store.has_checkpoint:
+            return
+        dead = self.cluster.dead_ranks()
+        alive_bytes = [
+            store.holder_bytes(rank)
+            for rank in range(self.num_nodes)
+            if rank not in dead
+        ]
+        rebuilt_before = store.shards_rebuilt
+        checked, repaired = store.scrub(dead=dead)
+        if checked == 0 and repaired == 0:
+            return
+        t = self.spec.taihulight
+        # Every holder streams its resident shards in parallel; repairs
+        # add one shard transfer each plus the agreement barrier.
+        cost = (
+            max(alive_bytes, default=0) / t.nic_effective_bandwidth
+            * self._disk_factor()
+            + repaired * self._checkpoint_transfer_seconds(store.max_shard_bytes)
+            + self._allreduce_time()
+        )
+        self._scrub_seconds += cost
+        self._mark(self._t_max + cost)
+        self.cluster.stats.counter("scrub_passes").add()
+        if repaired:
+            self.cluster.stats.counter("scrub_repairs").add(repaired)
+        rebuilt = store.shards_rebuilt - rebuilt_before
+        if rebuilt:
+            self.cluster.stats.counter("shards_rebuilt").add(rebuilt)
 
     def _recover_or_raise(self, dead: frozenset[int]) -> int:
         """Restore the last checkpoint after a crash; returns its level.
@@ -808,10 +906,13 @@ class DistributedBFS:
         The crashed ranks are revived (a replacement node adopting the
         rank), then *every* node rewinds to the checkpointed barrier —
         the only globally consistent state — and the driver re-runs the
-        lost levels. Raises :class:`SimulatedCrash` when there is nothing
-        to recover from.
+        lost levels. In RS mode the snapshots are *decoded* from the
+        surviving shards (the crashed ranks' disks count as erasures) and
+        missing shards are healed onto live holders, restoring the full
+        loss budget before the next fault. Raises :class:`SimulatedCrash`
+        when there is nothing to recover from or too many shards are gone.
         """
-        if self.checkpoints is None or self.checkpoints.last is None:
+        if not self._store_has_checkpoint():
             raise SimulatedCrash(
                 f"node(s) {sorted(dead)} crashed with no checkpoint to "
                 "recover from",
@@ -823,23 +924,56 @@ class DistributedBFS:
                 f"recovery limit ({self.resilience.max_recoveries}) exceeded",
                 node=min(dead),
             )
-        ckpt = self.checkpoints.restore()
-        for rank in sorted(dead):
-            self.cluster.revive(rank, self._make_handler(self.states[rank]))
+        store = self.checkpoints
+        assert store is not None
+        if isinstance(store, ShardedCheckpointStore):
+            # A revived rank is *replacement* hardware: its checkpoint disk
+            # comes up empty, so its resident shards are erasures...
+            for rank in sorted(dead):
+                store.drop_holder(rank)
+            # ...and the replacements must be live before the heal pass can
+            # re-cover them (restoring the full m-loss budget immediately).
+            for rank in sorted(dead):
+                self.cluster.revive(rank, self._make_handler(self.states[rank]))
+            rebuilt_before = store.shards_rebuilt
+            try:
+                ckpt = store.restore()
+            except ReproError as exc:
+                raise SimulatedCrash(str(exc), node=min(dead)) from exc
+            rebuilt = store.shards_rebuilt - rebuilt_before
+            # Cost: failure detection, each node gathering k shards from
+            # distinct holders (pipelined, so k serial shard transfers
+            # bound it), healing traffic, and two agreement barriers.
+            cost = (
+                self.resilience.ack_timeout
+                + store.code.data_shards
+                * self._checkpoint_transfer_seconds(store.max_shard_bytes)
+                * self._disk_factor()
+                + rebuilt * self._checkpoint_transfer_seconds(store.max_shard_bytes)
+                + 2 * self._allreduce_time()
+            )
+            if rebuilt:
+                self.cluster.stats.counter("shards_rebuilt").add(rebuilt)
+        else:
+            ckpt = store.restore()
+            # Cost: detecting the failure (a timed-out barrier), re-fetching
+            # the snapshot from buddy memory in parallel, and two barriers
+            # to agree on the rewind.
+            cost = (
+                self.resilience.ack_timeout
+                + self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
+                * self._disk_factor()
+                + 2 * self._allreduce_time()
+            )
+            for rank in sorted(dead):
+                self.cluster.revive(rank, self._make_handler(self.states[rank]))
         for state, snap in zip(self.states, ckpt.snapshots):
             state.restore(snap)
         if self.hubs is not None:
             self.hubs.frontier = ckpt.hub_frontier.copy()
             self.hubs.visited = ckpt.hub_visited.copy()
         self.policy.restore(ckpt.policy_state)
-        # Cost: detecting the failure (a timed-out barrier), re-fetching
-        # the snapshot from buddy memory in parallel, and two barriers to
-        # agree on the rewind.
-        cost = (
-            self.resilience.ack_timeout
-            + self._checkpoint_transfer_seconds(ckpt.max_node_bytes)
-            + 2 * self._allreduce_time()
-        )
+        self._recovery_seconds += cost
         self._mark(self._t_max + cost)
         self.cluster.stats.counter("recoveries").add()
         return ckpt.level
@@ -888,11 +1022,13 @@ class DistributedBFS:
         self._hub_settled = 0
         self._recoveries = 0
         self._checkpoint_seconds = 0.0
+        self._recovery_seconds = 0.0
+        self._scrub_seconds = 0.0
         traces: list[LevelTrace] = []
         if self.resilience.checkpoint_interval > 0:
             # Fresh store per root; the level-0 checkpoint makes any crash
             # recoverable without replaying from an earlier root's state.
-            self.checkpoints = CheckpointStore()
+            self.checkpoints = self._make_checkpoint_store()
             self._take_checkpoint(0)
 
         level = 0
@@ -981,6 +1117,15 @@ class DistributedBFS:
             if new_frontier == 0:
                 self._mark(self._t_max + self._allreduce_time())
                 break
+            # Scrub before the new save: the scrubber validates what the
+            # disks held *through* the level (a fresh save would mask any
+            # latent corruption or loss the level's faults caused).
+            if (
+                self.resilience.scrub_interval > 0
+                and isinstance(self.checkpoints, ShardedCheckpointStore)
+                and level % self.resilience.scrub_interval == 0
+            ):
+                self._run_scrub()
             if (
                 self.checkpoints is not None
                 and level % self.resilience.checkpoint_interval == 0
@@ -1015,6 +1160,21 @@ class DistributedBFS:
                 self.checkpoints.taken if self.checkpoints is not None else 0
             )
             stats["checkpoint_seconds"] = self._checkpoint_seconds
+            stats["recovery_seconds"] = self._recovery_seconds
+        store = self.checkpoints
+        if store is not None:
+            # Durability accounting (the store is fresh per root, so these
+            # are per-root figures): bytes held, bytes moved, fault tallies.
+            stats["checkpoint_storage_bytes"] = float(store.storage_bytes)
+            stats["checkpoint_raw_bytes"] = float(store.raw_bytes)
+            stats["checkpoint_traffic_bytes"] = float(store.bytes_written)
+            stats["shards_lost"] = float(store.shards_lost)
+            stats["shards_corrupted"] = float(store.shards_corrupted)
+            if isinstance(store, ShardedCheckpointStore):
+                stats["shards_rebuilt"] = float(store.shards_rebuilt)
+                stats["scrub_passes"] = float(store.scrub_passes)
+                stats["scrub_repairs"] = float(store.scrub_repairs)
+                stats["scrub_seconds"] = self._scrub_seconds
         result = BFSResult(
             root=root,
             parent=parent,

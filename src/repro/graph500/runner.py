@@ -42,7 +42,9 @@ _RESILIENCE_COUNTERS = (
     "rt_messages", "acks", "retransmits", "gave_up", "dup_suppressed",
     "corrupt_detected", "dead_letters", "node_crashes", "checkpoints",
     "recoveries", "fault_drops", "fault_duplicates", "fault_delays",
-    "fault_reorders", "fault_corruptions",
+    "fault_reorders", "fault_corruptions", "checkpoint_bytes",
+    "disk_losses", "disk_corruptions", "shards_rebuilt", "scrub_passes",
+    "scrub_repairs",
 )
 
 
@@ -62,6 +64,7 @@ class Graph500Runner:
         resilience=None,
         fault_plan=None,
         node_faults=None,
+        disk_faults=None,
         on_root_failure: str = "abort",
         workers: int = 1,
         telemetry=None,
@@ -87,6 +90,7 @@ class Graph500Runner:
         self.resilience = resilience
         self.fault_plan = fault_plan
         self.node_faults = node_faults
+        self.disk_faults = disk_faults
         if on_root_failure not in ("skip", "abort"):
             raise ConfigError(
                 f"on_root_failure must be skip/abort, got {on_root_failure!r}"
@@ -115,6 +119,7 @@ class Graph500Runner:
         if (
             self.fault_plan is not None
             or self.node_faults is not None
+            or self.disk_faults is not None
             or self.resilience is not None
         ):
             # Seeded fault/transport RNG streams advance across roots; only
@@ -166,6 +171,10 @@ class Graph500Runner:
             from repro.sim.faults import NodeFaultInjector
 
             NodeFaultInjector(bfs.cluster, self.node_faults)
+        if self.disk_faults is not None:
+            from repro.sim.faults import DiskFaultInjector
+
+            DiskFaultInjector(bfs, self.disk_faults, seed=self.seed)
         if self.sanitize:
             from repro.sanitizers.runtime import (
                 MessageSanitizer,

@@ -60,20 +60,58 @@ class Checkpoint:
 
 @dataclass
 class CheckpointStore:
-    """Keeps the most recent checkpoint (buddy memory holds exactly one)."""
+    """Keeps the most recent checkpoint (buddy memory holds exactly one).
+
+    Storage accounting and the disk-fault hooks mirror the erasure-coded
+    :class:`repro.durability.shards.ShardedCheckpointStore` so the driver
+    and injectors treat either store uniformly. Buddy durability is one
+    full remote copy next to the live state: 2x storage, and any disk
+    fault on the buddy copy (loss *or* detected corruption — there is no
+    redundancy to repair from) destroys the checkpoint outright.
+    """
 
     last: Checkpoint | None = None
     taken: int = 0
     restored: int = 0
     bytes_written: int = field(default=0)
+    #: Bytes durably held for the current checkpoint: the snapshot plus
+    #: its full buddy copy.
+    storage_bytes: int = 0
+    #: Serialized snapshot bytes of the current checkpoint (the 1x base
+    #: the storage overhead ratio is measured against).
+    raw_bytes: int = 0
+    shards_lost: int = 0
+    shards_corrupted: int = 0
 
     def save(self, checkpoint: Checkpoint) -> None:
         self.last = checkpoint
         self.taken += 1
         self.bytes_written += checkpoint.total_bytes
+        self.raw_bytes = checkpoint.total_bytes
+        self.storage_bytes = 2 * checkpoint.total_bytes
 
     def restore(self) -> Checkpoint:
         if self.last is None:
             raise LookupError("no checkpoint to restore from")
         self.restored += 1
         return self.last
+
+    def drop_holder(self, rank: int) -> int:
+        """A buddy disk died: the single copy — the checkpoint — is gone."""
+        if self.last is None:
+            return 0
+        self.last = None
+        self.storage_bytes = 0
+        self.raw_bytes = 0
+        self.shards_lost += 1
+        return 1
+
+    def corrupt_shard(self, rank: int, rng: np.random.Generator) -> bool:
+        """Corruption of the buddy copy: detected (whole-copy checksum)
+        but unrepairable without parity, so the checkpoint is discarded."""
+        if self.last is None:
+            return False
+        self.shards_corrupted += 1
+        self.drop_holder(rank)
+        self.shards_lost -= 1  # drop_holder double-counts the same copy
+        return True

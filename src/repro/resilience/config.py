@@ -45,6 +45,22 @@ class ResilienceConfig:
     #: each fail-stop crash fires once, so real runs stay far below it).
     max_recoveries: int = 8
 
+    # -- erasure-coded durability (repro.durability) -----------------------------
+    #: How checkpoints are made durable: ``"buddy"`` ships one full copy to
+    #: a partner node (2x storage, survives one loss); ``"rs"`` erasure-codes
+    #: each snapshot into ``rs_data_shards + rs_parity_shards`` shards on
+    #: distinct nodes ((k+m)/k storage, survives any ``rs_parity_shards``
+    #: simultaneous node/disk losses).
+    checkpoint_mode: str = "buddy"
+    #: RS data shard count k (``checkpoint_mode="rs"`` only).
+    rs_data_shards: int = 4
+    #: RS parity shard count m — the loss budget (``checkpoint_mode="rs"``).
+    rs_parity_shards: int = 2
+    #: Run a background checksum scrub over the shard store every this many
+    #: BFS levels (0 = off; ``"rs"`` mode only). Scrub detects and repairs
+    #: latent corruption before the next fault can stack on top of it.
+    scrub_interval: int = 0
+
     def __post_init__(self) -> None:
         if self.ack_timeout <= 0:
             raise ConfigError(f"ack timeout must be positive, got {self.ack_timeout}")
@@ -66,3 +82,25 @@ class ResilienceConfig:
             )
         if self.max_recoveries < 1:
             raise ConfigError(f"max recoveries must be >= 1: {self.max_recoveries}")
+        if self.checkpoint_mode not in ("buddy", "rs"):
+            raise ConfigError(
+                f"checkpoint mode must be 'buddy' or 'rs', got "
+                f"{self.checkpoint_mode!r}"
+            )
+        if self.rs_data_shards < 1:
+            raise ConfigError(
+                f"rs_data_shards must be >= 1: {self.rs_data_shards}"
+            )
+        if self.rs_parity_shards < 1:
+            raise ConfigError(
+                f"rs_parity_shards must be >= 1: {self.rs_parity_shards}"
+            )
+        if self.scrub_interval < 0:
+            raise ConfigError(
+                f"scrub interval cannot be negative: {self.scrub_interval}"
+            )
+        if self.scrub_interval > 0 and self.checkpoint_mode != "rs":
+            raise ConfigError(
+                "scrub_interval needs checkpoint_mode='rs' (buddy copies "
+                "carry no per-shard checksums to scrub)"
+            )

@@ -293,7 +293,17 @@ class NodeFaultInjector(SendInterceptor):
             engine.call_at(when, self._crash, cluster, rank)
         for rank in plan.stragglers:
             cluster.topology.check_node(rank)
-        super().__init__(cluster)
+        if plan.stragglers:
+            super().__init__(cluster)
+        else:
+            # Crash-only plans leave ``send`` untouched: crashes are engine
+            # events, not send-path perturbations. Wrapping ``send`` would
+            # silently degrade ``send_batch`` to the scalar path for the
+            # whole run, so the batched dead-letter handling would never be
+            # exercised under crashes (its scalar parity is pinned by
+            # tests/test_message_path_parity.py).
+            self.cluster = cluster
+            self._original_send = None
 
     def _crash(self, cluster: SimCluster, rank: int) -> None:
         if cluster.is_alive(rank):
@@ -320,3 +330,86 @@ class NodeFaultInjector(SendInterceptor):
                 base = at_time if at_time is not None else self.cluster.engine.now
                 at_time = base + extra
         return self._original_send(src, dst, tag, nbytes, payload, at_time)
+
+
+@dataclass
+class DiskFaultPlan:
+    """Checkpoint-disk faults: shard loss, latent corruption, slow disks.
+
+    ``lose_at`` maps rank -> absolute simulated time its checkpoint disk
+    dies (every shard it holds is gone; the node itself keeps running).
+    ``corrupt_at`` maps rank -> time one resident shard gets a byte
+    flipped (which the per-shard CRC detects at the next scrub or
+    restore). ``degrade`` maps rank -> I/O slowdown factor >= 1 applied
+    to every checkpoint/scrub/recovery pass — the fat sibling of the
+    network straggler, after kelp's ``check_for_failing_disk`` model.
+    """
+
+    lose_at: dict[int, float] = field(default_factory=dict)
+    corrupt_at: dict[int, float] = field(default_factory=dict)
+    degrade: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.lose_at.values()):
+            raise ConfigError("disk loss times must be non-negative")
+        if any(t < 0 for t in self.corrupt_at.values()):
+            raise ConfigError("disk corruption times must be non-negative")
+        if any(f < 1.0 for f in self.degrade.values()):
+            raise ConfigError("disk slowdown factors must be >= 1")
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.lose_at or self.corrupt_at or self.degrade)
+
+
+class DiskFaultInjector:
+    """Schedules disk faults against a BFS kernel's checkpoint store.
+
+    Unlike the send-path injectors this wraps nothing: losses and
+    corruptions are engine events that mutate whatever checkpoint store
+    the kernel holds when they fire (buddy stores lose their single copy;
+    sharded stores lose/corrupt individual shards), and ``degrade``
+    factors land in the kernel's ``disk_slowdowns`` map, which its cost
+    model reads. ``kernel`` is duck-typed: it needs ``cluster``,
+    ``checkpoints`` and ``disk_slowdowns`` attributes (the
+    :class:`repro.core.bfs.DistributedBFS` surface).
+    """
+
+    def __init__(self, kernel: Any, plan: DiskFaultPlan, seed: int = 0) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        self.rng = substream(seed, "faults", "disk")
+        self.disks_lost = 0
+        self.shards_dropped = 0
+        self.corrupted = 0
+        cluster: SimCluster = kernel.cluster
+        engine = cluster.engine
+        for rank in sorted(plan.lose_at):
+            cluster.topology.check_node(rank)
+            engine.call_at(max(plan.lose_at[rank], engine.now), self._lose, rank)
+        for rank in sorted(plan.corrupt_at):
+            cluster.topology.check_node(rank)
+            engine.call_at(
+                max(plan.corrupt_at[rank], engine.now), self._corrupt, rank
+            )
+        for rank in sorted(plan.degrade):
+            cluster.topology.check_node(rank)
+        kernel.disk_slowdowns.update(plan.degrade)
+
+    def _lose(self, rank: int) -> None:
+        store = self.kernel.checkpoints
+        if store is None:
+            return
+        self.disks_lost += 1
+        self.kernel.cluster.stats.counter("disk_losses").add()
+        dropped = store.drop_holder(rank)
+        if dropped:
+            self.shards_dropped += dropped
+
+    def _corrupt(self, rank: int) -> None:
+        store = self.kernel.checkpoints
+        if store is None:
+            return
+        if store.corrupt_shard(rank, self.rng):
+            self.corrupted += 1
+            self.kernel.cluster.stats.counter("disk_corruptions").add()

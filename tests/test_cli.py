@@ -86,6 +86,48 @@ def test_sssp_subcommand(capsys):
     assert "SSSP" in out and "GTEPS" in out
 
 
+def test_chaos_campaign_writes_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    rc = main(
+        ["chaos", "--scale", "9", "--scenarios", "3", "--seed", "7",
+         "--out", str(out_path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verdict OK" in out
+    assert "aborted 0/3" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["ok"] is True
+    assert len(doc["scenarios"]) == 3
+
+
+def test_graph500_rs_mode_with_disk_faults(capsys):
+    rc = main(
+        ["graph500", "--scale", "9", "--nodes", "8", "--roots", "1",
+         "--checkpoint-interval", "1", "--checkpoint-mode", "rs",
+         "--scrub-interval", "1", "--disk-lose", "5",
+         "--disk-corrupt", "2:2e-4", "--disk-degrade", "3:1.5"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "all validated" in out
+    assert "disk_losses: 1" in out
+    assert "disk_corruptions: 1" in out
+    assert "scrub_passes" in out
+
+
+def test_graph500_rejects_bad_disk_fault_spec():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="--disk-lose"):
+        main(
+            ["graph500", "--scale", "8", "--nodes", "8", "--roots", "1",
+             "--checkpoint-interval", "1", "--disk-lose", "nope"]
+        )
+
+
 def test_unknown_command_errors():
     with pytest.raises(SystemExit):
         main(["bogus"])

@@ -1,0 +1,100 @@
+"""The chaos campaign harness: zero aborts, oracle checks, determinism.
+
+Small campaigns (scale 9, a handful of scenarios) keep these fast; the
+scale-13, 50-scenario acceptance sweep lives in CI's chaos-smoke job and
+``EXPERIMENTS.md``. What matters here is the *contract*: every scenario
+stays within the RS loss budget, recovers to bit-identical parents, and
+the whole sweep replays exactly from its seed.
+"""
+
+import json
+
+import pytest
+
+from repro.durability import ChaosConfig, run_campaign
+from repro.durability.chaos import _draw_scenario
+from repro.errors import ConfigError
+from repro.telemetry import Telemetry
+
+
+def _small_cfg(**overrides):
+    defaults = dict(scale=9, nodes=8, scenarios=4, seed=7)
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+def test_campaign_zero_aborts_and_bit_identical_parents():
+    report = run_campaign(_small_cfg())
+    assert len(report.results) == 4
+    assert report.aborted == 0
+    assert report.mismatched == 0
+    assert report.ok
+    assert report.baseline_seconds > 0.0
+    for r in report.results:
+        assert r.outcome in ("clean", "recovered")
+        assert r.parents_match
+        assert 0.0 < r.storage_overhead < 1.6
+        # Faulted runs are never faster than the fault-free baseline.
+        assert r.sim_seconds >= report.baseline_seconds
+
+
+def test_campaign_is_deterministic():
+    a = run_campaign(_small_cfg())
+    b = run_campaign(_small_cfg())
+    assert a.results == b.results  # frozen dataclasses: exact equality
+    assert a.baseline_seconds == b.baseline_seconds
+
+
+def test_scenario_draws_respect_the_loss_budget():
+    cfg = _small_cfg(scenarios=64, max_losses=2)
+    for index in range(cfg.scenarios):
+        node_plan, disk_plan, labels, degraded = _draw_scenario(
+            cfg, index, window=1.0
+        )
+        destructive = len(labels)
+        assert 1 <= destructive <= cfg.loss_budget
+        victims = []
+        if node_plan is not None:
+            victims += list(node_plan.crash_at)
+        victims += list(disk_plan.lose_at) + list(disk_plan.corrupt_at)
+        assert len(victims) == destructive
+        assert len(set(victims)) == destructive  # distinct ranks
+        for when in (
+            list((node_plan.crash_at if node_plan else {}).values())
+            + list(disk_plan.lose_at.values())
+            + list(disk_plan.corrupt_at.values())
+        ):
+            assert 0.0 < when < 1.0  # inside the traversal window
+        for factor in disk_plan.degrade.values():
+            assert factor > 1.0  # degradation slows, never destroys
+
+
+def test_campaign_report_renders_and_serialises():
+    tel = Telemetry()
+    report = run_campaign(_small_cfg(scenarios=2), telemetry=tel)
+    text = report.render()
+    assert "verdict OK" in text
+    assert "RS(4,2)" in text
+    doc = json.loads(report.to_json())
+    assert doc["ok"] is True
+    assert doc["aborted"] == 0
+    assert len(doc["scenarios"]) == 2
+    assert doc["config"]["seed"] == 7
+    # Telemetry: one span per scenario, outcome-labeled counters.
+    assert len(tel.spans.by_category("chaos-scenario")) == 2
+    total = sum(
+        value
+        for key, value in tel.metrics.snapshot().items()
+        if key.startswith("chaos_scenarios{")
+    )
+    assert total == 2
+
+
+def test_chaos_config_validation():
+    with pytest.raises(ConfigError, match="scenario"):
+        ChaosConfig(scenarios=0)
+    with pytest.raises(ConfigError, match="max_losses"):
+        ChaosConfig(max_losses=0)
+    with pytest.raises(ConfigError, match="probability"):
+        ChaosConfig(degrade_probability=1.5)
+    assert ChaosConfig(max_losses=5, parity_shards=2).loss_budget == 2

@@ -1,0 +1,166 @@
+"""Property tests for the GF(256) tables and the Reed–Solomon codec.
+
+The durability claim — "any m simultaneous losses rebuild the snapshot
+bit-identically" — rests on the codec round-tripping *every* erasure
+pattern of weight <= m. These tests enumerate them exhaustively for the
+shipped RS(4, 2) geometry and spot-check other (k, m) shapes, alongside
+the field identities the tables must satisfy.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.durability import (
+    RSCode,
+    gf_div,
+    gf_inv,
+    gf_inv_matrix,
+    gf_matmul,
+    gf_mul,
+)
+from repro.durability.gf256 import GF_EXP, GF_LOG
+from repro.errors import ConfigError
+
+
+# --- field properties ---------------------------------------------------------
+def test_log_exp_tables_are_inverse_bijections():
+    # exp is 255-periodic over the doubled table; log inverts it.
+    assert GF_EXP.shape == (510,)
+    assert np.array_equal(GF_EXP[:255], GF_EXP[255:])
+    nonzero = np.arange(1, 256, dtype=np.uint8)
+    assert np.array_equal(GF_EXP[GF_LOG[nonzero]], nonzero)
+    assert sorted(GF_EXP[:255].tolist()) == list(range(1, 256))
+
+
+def test_gf_mul_matches_carryless_reference():
+    def slow_mul(a, b):
+        p = 0
+        for _ in range(8):
+            if b & 1:
+                p ^= a
+            b >>= 1
+            a <<= 1
+            if a & 0x100:
+                a ^= 0x11D
+        return p
+
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 256, size=512, dtype=np.uint8)
+    b = rng.integers(0, 256, size=512, dtype=np.uint8)
+    got = gf_mul(a, b)
+    expected = [slow_mul(int(x), int(y)) for x, y in zip(a, b)]
+    assert got.tolist() == expected
+
+
+def test_field_axioms_on_random_triples():
+    rng = np.random.default_rng(11)
+    a, b, c = (rng.integers(0, 256, size=256, dtype=np.uint8) for _ in range(3))
+    assert np.array_equal(gf_mul(a, b), gf_mul(b, a))
+    assert np.array_equal(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)))
+    # Distributivity over XOR (the field's addition).
+    assert np.array_equal(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c))
+    nz = a[a != 0]
+    assert np.all(gf_mul(nz, gf_inv(nz)) == 1)
+    assert np.array_equal(gf_div(gf_mul(nz, b[: len(nz)]), nz), b[: len(nz)])
+
+
+def test_matrix_inverse_round_trips():
+    rng = np.random.default_rng(3)
+    for n in (1, 2, 4, 7):
+        # Rejection-sample an invertible matrix.
+        while True:
+            m = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+            try:
+                inv = gf_inv_matrix(m)
+                break
+            except ConfigError:
+                continue
+        assert np.array_equal(gf_matmul(m, inv), np.eye(n, dtype=np.uint8))
+
+
+def test_singular_matrix_rejected():
+    singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(ConfigError, match="singular"):
+        gf_inv_matrix(singular)
+
+
+# --- codec --------------------------------------------------------------------
+def test_generator_is_systematic():
+    code = RSCode(4, 2)
+    assert code.total_shards == 6
+    assert np.array_equal(
+        code.generator[:4], np.eye(4, dtype=np.uint8)
+    )  # data shards pass through verbatim
+
+
+def test_shard_length_ceils_and_floors():
+    code = RSCode(4, 2)
+    assert code.shard_length(0) == 1  # degenerate payload still shards
+    assert code.shard_length(1) == 1
+    assert code.shard_length(4) == 1
+    assert code.shard_length(5) == 2
+    assert code.shard_length(8000) == 2000
+
+
+@pytest.mark.parametrize("k,m", [(4, 2), (2, 1), (2, 2), (8, 3), (1, 1)])
+def test_roundtrip_all_erasure_patterns_within_budget(k, m):
+    """Every erasure pattern of weight <= m decodes bit-identically —
+    including the patterns that kill data shards and survive on parity."""
+    code = RSCode(k, m)
+    rng = np.random.default_rng(100 * k + m)
+    data = rng.integers(0, 256, size=137, dtype=np.uint8)
+    shards = code.encode(data)
+    assert shards.shape == (k + m, code.shard_length(len(data)))
+    total = k + m
+    for weight in range(m + 1):
+        for lost in itertools.combinations(range(total), weight):
+            present = [i for i in range(total) if i not in lost]
+            got = code.decode(present, shards[present], len(data))
+            assert np.array_equal(got, data), (
+                f"pattern {lost} failed for RS({k},{m})"
+            )
+
+
+def test_decode_needs_k_shards():
+    code = RSCode(4, 2)
+    data = np.arange(16, dtype=np.uint8)
+    shards = code.encode(data)
+    with pytest.raises(ConfigError, match="unrecoverable"):
+        code.decode([0, 1, 2], shards[[0, 1, 2]], len(data))
+
+
+def test_decode_with_extra_survivors_uses_lowest_k():
+    code = RSCode(4, 2)
+    data = np.arange(100, 123, dtype=np.uint8)
+    shards = code.encode(data)
+    got = code.decode(list(range(6)), shards, len(data))
+    assert np.array_equal(got, data)
+
+
+def test_decode_rejects_bad_survivor_sets():
+    code = RSCode(4, 2)
+    shards = code.encode(np.arange(16, dtype=np.uint8))
+    with pytest.raises(ConfigError, match="duplicate"):
+        code.decode([0, 0, 1, 2], shards[[0, 0, 1, 2]], 16)
+    with pytest.raises(ConfigError, match="out of range"):
+        code.decode([0, 1, 2, 6], shards[[0, 1, 2, 3]], 16)
+    with pytest.raises(ConfigError, match="align"):
+        code.decode([0, 1, 2, 3], shards[[0, 1, 2]], 16)
+
+
+def test_empty_payload_roundtrip():
+    code = RSCode(4, 2)
+    shards = code.encode(np.zeros(0, dtype=np.uint8))
+    got = code.decode([2, 3, 4, 5], shards[2:], 0)
+    assert got.size == 0
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        RSCode(0, 2)
+    with pytest.raises(ConfigError):
+        RSCode(4, 0)
+    with pytest.raises(ConfigError):
+        RSCode(200, 100)  # k + m > 255 leaves no distinct field points

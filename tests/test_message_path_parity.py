@@ -247,6 +247,66 @@ def test_send_batch_rejects_bad_inputs():
         clu.send_batch(0, [1], "t", [8], at_times=[0.5])
 
 
+def test_send_batch_dead_letters_on_mid_batch_deregister():
+    """A destination that deregisters while batched messages are in flight
+    diverts them to ``dead_letters`` exactly like the scalar path: same
+    deliveries, same dead-letter count, same clock. The deregister fires
+    from a bare engine event, between injection and delivery."""
+    dests = [9, 9, 9, 10]
+    nbytes = [8192, 8192, 8192, 64]
+    ats = [0.0, 0.0, 0.0, 0.0]
+    snapshots = []
+    for use_batch in (False, True):
+        eng, clu, deliveries = _collecting_cluster()
+        # Kill rank 9 after injection but before any transfer completes.
+        eng.call_at(1e-9, clu.deregister, 9)
+        if use_batch:
+            clu.send_batch(0, dests, "t", nbytes, at_times=ats)
+        else:
+            for d, nb, at in zip(dests, nbytes, ats):
+                clu.send(0, d, "t", nb, at_time=at)
+        eng.run()
+        snapshots.append((list(deliveries), clu.stats.snapshot(), eng.now))
+    scalar, batched = snapshots
+    assert scalar == batched
+    deliveries, stats, _ = batched
+    assert stats["dead_letters"] == 3  # the three in-flight messages to 9
+    assert [d[1] for d in deliveries] == [10]  # rank 10 still delivered
+
+
+def test_send_batch_from_deregistered_source_dead_letters():
+    """Messages injected by an already-crashed source never reach the
+    network — batched and scalar agree on the dead-letter accounting."""
+    snapshots = []
+    for use_batch in (False, True):
+        eng, clu, deliveries = _collecting_cluster()
+        clu.deregister(0)
+        if use_batch:
+            clu.send_batch(0, [1, 2], "t", [64, 64])
+        else:
+            clu.send(0, 1, "t", 64)
+            clu.send(0, 2, "t", 64)
+        eng.run()
+        snapshots.append((list(deliveries), clu.stats.snapshot()))
+    assert snapshots[0] == snapshots[1]
+    assert snapshots[1][1]["dead_letters"] == 2
+    assert snapshots[1][0] == []
+
+
+def test_crash_only_node_faults_leave_batch_path_live():
+    """A crash-only :class:`NodeFaultPlan` must not wrap ``cluster.send``:
+    crashes act through ``deregister`` alone, so the vectorized batch path
+    stays installed (a straggler plan still needs the per-message wrap)."""
+    from repro.sim.faults import NodeFaultInjector, NodeFaultPlan
+
+    eng, clu, _ = _collecting_cluster()
+    NodeFaultInjector(clu, NodeFaultPlan(crash_at={3: 1e-4}))
+    assert "send" not in clu.__dict__  # class-level send: batch path intact
+    eng2, clu2, _ = _collecting_cluster()
+    NodeFaultInjector(clu2, NodeFaultPlan(stragglers={2: 2.0}))
+    assert "send" in clu2.__dict__  # stragglers price per message
+
+
 # --- network-model parity: transfer_batch vs sequential transfers ------------
 def test_transfer_batch_matches_sequential_transfers():
     topo = FatTreeTopology(num_nodes=16, nodes_per_super_node=4)
