@@ -102,6 +102,7 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         disk_faults=disk_faults,
         on_root_failure=args.on_root_failure,
         workers=args.workers,
+        engine_partitions=args.engine_partitions,
         sanitize=args.sanitize,
     )
     report = runner.run(num_roots=args.roots)
@@ -242,6 +243,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     """Double-run determinism check: report/span/metric digest diff."""
     from repro.sanitizers import check_determinism
 
+    partitions = [int(p) for p in str(args.engine_partitions).split(",") if p]
     result = check_determinism(
         scale=args.scale,
         nodes=args.nodes,
@@ -251,6 +253,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         workers=args.workers,
         runs=args.runs,
         validate=not args.no_validate,
+        engine_partitions=partitions if len(partitions) > 1 else partitions[0],
     )
     print(result.render())
     return 0 if result.ok else 1
@@ -428,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="fork-parallel root execution (1 = sequential; "
                         "fault/resilience configs always run sequentially)")
+    p.add_argument("--engine-partitions", type=int, default=1,
+                   help="conservative-sync PDES partitions for the event "
+                        "engine (1 = sequential loop; results are "
+                        "bit-identical either way)")
     fault = p.add_argument_group("fault injection (seeded, replayable)")
     fault.add_argument("--drop-rate", type=float, default=0.0,
                        help="probability a message is dropped on the wire")
@@ -487,7 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="determinism lint over python sources (rule ids REP101-REP105)",
+        help="determinism lint over python sources (rule ids REP101-REP106)",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the installed "
@@ -524,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--runs", type=int, default=2)
     p.add_argument("--no-validate", action="store_true")
+    p.add_argument("--engine-partitions", default="1",
+                   help="PDES partition count, or a comma list cycled "
+                        "across runs (e.g. '1,2' proves the partitioned "
+                        "engine digest-identical to the sequential one)")
     p.set_defaults(func=_cmd_sanitize)
 
     p = sub.add_parser(

@@ -67,6 +67,7 @@ class Graph500Runner:
         disk_faults=None,
         on_root_failure: str = "abort",
         workers: int = 1,
+        engine_partitions: int = 1,
         telemetry=None,
         sanitize: bool = False,
     ):
@@ -99,6 +100,14 @@ class Graph500Runner:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        if engine_partitions < 1:
+            raise ConfigError(
+                f"engine partitions must be >= 1, got {engine_partitions}"
+            )
+        #: Conservative-sync PDES partition count for the kernel's event
+        #: engine (``BFSConfig.engine_partitions``); 1 keeps the sequential
+        #: engine. Results are pinned bit-identical either way.
+        self.engine_partitions = engine_partitions
         #: Optional :class:`repro.telemetry.Telemetry`. Sequential runs get
         #: full kernel instrumentation (spans, labeled metrics, busy
         #: intervals); ``workers>1`` runs derive the run/root/level span
@@ -148,13 +157,41 @@ class Graph500Runner:
         # deduplicated CSR serves the validator and, threaded through
         # ``make_variant``, the distributed kernel.
         graph = CSRGraph.from_edges(edges)
+        workers = self._effective_workers(num_roots)
+        shared = None
+        if workers > 1:
+            # Rehost the read-only CSR into one shared-memory segment so
+            # worker processes map the edge arrays zero-copy instead of
+            # duplicating them (and so sharing survives non-fork start
+            # methods, unlike copy-on-write inheritance).
+            from repro.graph.shm import SharedCSR, shared_memory_available
+
+            if shared_memory_available():
+                shared = SharedCSR.host(graph)
+                graph = shared.graph
+        try:
+            return self._run_steps(edges, roots, graph, workers)
+        finally:
+            if shared is not None:
+                shared.destroy()
+
+    def _run_steps(self, edges, roots, graph, workers) -> BenchmarkReport:
+        config = self.config
+        if self.engine_partitions != 1:
+            from dataclasses import replace
+
+            from repro.core.config import BFSConfig
+
+            config = replace(
+                config or BFSConfig(), engine_partitions=self.engine_partitions
+            )
         from repro.baselines import make_variant  # late: heavy import chain
 
         bfs = make_variant(
             self.variant,
             edges,
             self.nodes,
-            config=self.config,
+            config=config,
             nodes_per_super_node=self.nodes_per_super_node,
             resilience=self.resilience,
             graph=graph,
@@ -203,7 +240,6 @@ class Graph500Runner:
                 nodes_per_super_node=self.nodes_per_super_node,
             )
 
-        workers = self._effective_workers(num_roots)
         tel = self.telemetry
         if tel is not None and not tel.enabled:
             tel = None

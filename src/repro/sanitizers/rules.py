@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 #: order — the blast radius of a nondeterministic iteration.
 SIM_CORE_PACKAGES = ("core", "sim", "machine", "network")
 
-#: Files exempt from specific rules (the one sanctioned RNG entry point).
+#: Files exempt from specific rules (the one sanctioned RNG entry point,
+#: and the partitioned engine's own lane implementation).
 RULE_EXEMPT_FILES = {
     "REP102": ("repro/sim/rng.py",),
+    "REP106": ("repro/sim/partition.py",),
 }
 
 _NOQA_RE = re.compile(
@@ -87,6 +89,15 @@ RULES: dict[str, Rule] = {
             "hot message/event dataclasses (*Message, *Event, *Packet, "
             "*Execution) without slots=True; per-instance dicts cost space "
             "and invite untracked dynamic attributes",
+            "sim-core",
+        ),
+        Rule(
+            "REP106",
+            "pdes-channel-bypass",
+            "direct access to the partitioned engine's cross-partition state "
+            "(_lanes/_entries/_drain_bound/_node_partition) outside "
+            "repro.sim.partition; cross-partition events must flow through "
+            "the engine's scheduling/channel API, not shared mutable lanes",
             "sim-core",
         ),
     )

@@ -325,30 +325,46 @@ def check_determinism(
     workers: int = 1,
     runs: int = 2,
     validate: bool = False,
+    engine_partitions=1,
 ) -> DeterminismReport:
     """Run the benchmark ``runs`` times and diff every digest.
 
     Each run gets a fresh runner, kernel, engine and telemetry — nothing
     is shared, so any digest difference is real nondeterminism (host
     clock, global RNG, hash-order iteration) leaking into results.
+
+    ``engine_partitions`` may be a sequence, cycled across runs — e.g.
+    ``[1, 2]`` proves the partitioned PDES engine digest-identical to the
+    sequential one, since the partitioned engine is pinned bit-identical
+    (parents, sim seconds, stats, spans) to the sequential specification.
     """
     from repro.graph500.runner import Graph500Runner
 
-    def run_fn(tel):
-        runner = Graph500Runner(
-            scale=scale,
-            nodes=nodes,
-            seed=seed,
-            variant=variant,
-            validate=validate,
-            workers=workers,
-            telemetry=tel,
-        )
-        return runner.run(num_roots=num_roots).to_json()
+    if isinstance(engine_partitions, int):
+        partition_cycle = [engine_partitions]
+    else:
+        partition_cycle = [int(p) for p in engine_partitions] or [1]
+
+    def make_run_fn(partitions):
+        def run_fn(tel):
+            runner = Graph500Runner(
+                scale=scale,
+                nodes=nodes,
+                seed=seed,
+                variant=variant,
+                validate=validate,
+                workers=workers,
+                engine_partitions=partitions,
+                telemetry=tel,
+            )
+            return runner.run(num_roots=num_roots).to_json()
+
+        return run_fn
 
     result = DeterminismReport()
-    for _ in range(runs):
-        result.digests.append(run_digest(run_fn))
+    for i in range(runs):
+        partitions = partition_cycle[i % len(partition_cycle)]
+        result.digests.append(run_digest(make_run_fn(partitions)))
     first = result.digests[0]
     for i, other in enumerate(result.digests[1:], start=1):
         for kind in ("report", "spans", "metrics"):

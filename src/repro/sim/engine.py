@@ -107,10 +107,21 @@ class Engine:
         A cancelled event is discarded without executing and — unlike a
         no-op callback — without advancing the clock, so timeout guards
         (ack timers, watchdogs) don't inflate simulated time once their
-        condition is met. Only pending events may be cancelled: cancelling
-        an already-executed handle corrupts the queue accounting.
+        condition is met. Cancelling an already-executed handle is a
+        tolerated no-op (ack paths race the timers they guard); its mark
+        is reclaimed at the next quiescent point, so the cancelled set
+        stays bounded by the *pending* cancellations of the current run
+        rather than growing for the lifetime of the engine. Marks that
+        reach the queue head are purged eagerly.
         """
+        if not 0 <= handle < self._seq:
+            raise SimulationError(f"unknown event handle: {handle!r}")
         self._cancelled.add(handle)
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue and queue[0][1] in cancelled:
+            cancelled.discard(queue[0][1])
+            heapq.heappop(queue)
 
     # -- running ----------------------------------------------------------------
     def step(self) -> bool:
@@ -124,6 +135,7 @@ class Engine:
             self._events_executed += 1
             fn(*args)
             return True
+        self._cancelled.clear()
         return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -165,6 +177,10 @@ class Engine:
             else:
                 if until is not None:
                     self._now = max(self._now, until)
+                # Quiescent: every scheduled event has either executed or
+                # been popped, so surviving marks can only refer to handles
+                # cancelled *after* they fired — reclaim them here.
+                cancelled.clear()
         finally:
             self._running = False
             # Folded out of the hot loop; nothing inside a callback reads

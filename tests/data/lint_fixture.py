@@ -2,9 +2,10 @@
 
 Never imported; linted by tests/test_sanitizers_lint.py with the
 ``sim-core`` scope forced, to prove ``repro lint`` rejects each hazard
-class (REP101-REP105) and exits nonzero.
+class (REP101-REP106) and exits nonzero.
 """
 
+import heapq
 import random
 import time
 from dataclasses import dataclass
@@ -34,3 +35,9 @@ class HotPathMessage:  # REP105: hot dataclass without slots=True
     src: int
     dst: int
     payload: bytes
+
+
+def smuggle_event(engine, fn) -> None:
+    # REP106: pushing straight into a partition lane bypasses the
+    # channel API's lookahead validation and drain-bound update.
+    heapq.heappush(engine._lanes[1], [0.0, 0, fn, ()])

@@ -1,0 +1,130 @@
+"""Tests for zero-copy shared-memory CSR hosting (``repro.graph.shm``).
+
+The contract is simple: ``host`` makes exactly one copy (into the
+segment), ``attach`` makes zero, both sides observe the same bytes, and
+``destroy`` reclaims the name even while numpy views are still alive.
+All tests skip when the platform has no usable shared-memory mount.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.kronecker import KroneckerGenerator
+from repro.graph.shm import SharedCSR, shared_memory_available
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared-memory mount"
+)
+
+
+def _graph(scale=8, seed=3):
+    return CSRGraph.from_edges(KroneckerGenerator(scale=scale, seed=seed).generate())
+
+
+def test_host_round_trips_graph_exactly():
+    graph = _graph()
+    shared = SharedCSR.host(graph)
+    try:
+        assert shared.graph.num_vertices == graph.num_vertices
+        assert np.array_equal(shared.graph.row_ptr, graph.row_ptr)
+        assert np.array_equal(shared.graph.col_idx, graph.col_idx)
+    finally:
+        shared.destroy()
+
+
+def test_hosted_arrays_are_views_into_the_segment():
+    """CSRGraph.__init__ must keep the shm views as-is — a silent copy
+    would defeat the zero-copy contract for every worker."""
+    graph = _graph()
+    shared = SharedCSR.host(graph)
+    try:
+        buf_addr = np.frombuffer(
+            shared._segment.buf, dtype=np.int64
+        ).__array_interface__["data"][0]
+        row_addr = shared.graph.row_ptr.__array_interface__["data"][0]
+        col_addr = shared.graph.col_idx.__array_interface__["data"][0]
+        assert row_addr == buf_addr
+        assert col_addr == buf_addr + shared.graph.row_ptr.nbytes
+    finally:
+        shared.destroy()
+
+
+def test_attach_sees_the_same_bytes_without_copying():
+    graph = _graph()
+    host = SharedCSR.host(graph)
+    try:
+        attached = SharedCSR.attach(host.handle())
+        try:
+            assert np.array_equal(attached.graph.row_ptr, graph.row_ptr)
+            assert np.array_equal(attached.graph.col_idx, graph.col_idx)
+            assert attached.graph.num_vertices == graph.num_vertices
+            # Same physical pages: a write on one side appears on the other.
+            # (The kernel never writes; this just proves the sharing.)
+            host.graph.col_idx[0] += 1
+            assert attached.graph.col_idx[0] == host.graph.col_idx[0]
+            host.graph.col_idx[0] -= 1
+        finally:
+            attached.destroy()
+    finally:
+        host.destroy()
+
+
+def test_handle_is_picklable_metadata():
+    import pickle
+
+    graph = _graph()
+    shared = SharedCSR.host(graph)
+    try:
+        handle = shared.handle()
+        assert handle == pickle.loads(pickle.dumps(handle))
+        assert handle[1] == len(graph.row_ptr)
+        assert handle[2] == len(graph.col_idx)
+        assert handle[3] == graph.num_vertices
+    finally:
+        shared.destroy()
+
+
+def test_destroy_unlinks_the_name():
+    from multiprocessing import shared_memory
+
+    shared = SharedCSR.host(_graph())
+    name = shared.name
+    shared.destroy()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    shared.destroy()  # idempotent: second call must not raise
+
+
+def test_destroy_tolerates_live_views():
+    """With the graph views still referenced, destroy() must neither raise
+    (some numpy versions make close() raise BufferError) nor leak the
+    name. The views are dead after this point — never dereferenced."""
+    from multiprocessing import shared_memory
+
+    shared = SharedCSR.host(_graph())
+    name = shared.name
+    keep_alive = shared.graph  # views still referenced during destroy
+    shared.destroy()
+    assert keep_alive is not None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_bfs_on_shared_graph_matches_private_graph():
+    """A traversal over the shm-backed graph is bit-identical to one over
+    the private copy — the graph is data, not behaviour."""
+    from repro.baselines.variants import variant_config
+    from repro.core.bfs import DistributedBFS
+
+    edges = KroneckerGenerator(scale=8, seed=3).generate()
+    graph = CSRGraph.from_edges(edges)
+    shared = SharedCSR.host(graph)
+    try:
+        cfg = variant_config("relay-cpe")
+        private = DistributedBFS(edges, 8, config=cfg, graph=graph).run(1)
+        hosted = DistributedBFS(edges, 8, config=cfg, graph=shared.graph).run(1)
+        assert np.array_equal(private.parent, hosted.parent)
+        assert private.sim_seconds == hosted.sim_seconds
+    finally:
+        shared.destroy()
