@@ -86,6 +86,63 @@ def _build_resilience(args: argparse.Namespace):
     return resilience, fault_plan, node_faults, disk_faults
 
 
+def _render_partition_report(report: dict) -> str:
+    """Render :meth:`PartitionedEngine.partition_report` for the terminal:
+    per-lane loads, drain-run histogram, window occupancy, channel slack."""
+    lines = []
+    parts = report["partitions"]
+    bounds = report["bounds"]
+    aligned = "SN-aligned" if report["aligned"] else "unaligned"
+    lines.append(
+        f"partition report: {parts} compute lanes ({aligned}), "
+        f"drain_workers={report['drain_workers']} "
+        f"backend={report['drain_backend']}"
+    )
+
+    lane = Table(["lane", "nodes", "events"], title="per-lane loads")
+    compute = report["lane_events"]["compute"]
+    for i, events in enumerate(compute):
+        span = "-" if bounds is None else f"{bounds[i]}-{bounds[i + 1] - 1}"
+        lane.add_row([f"compute {i}", span, f"{events:,}"])
+    lane.add_row(["fabric", "-", f"{report['lane_events']['fabric']:,}"])
+    lane.add_row(["control", "-", f"{report['lane_events']['control']:,}"])
+    lines.append(lane.render())
+
+    hist = Table(["run length", "drains"], title="drain-run length histogram")
+    for label, count in report["drain_run_hist"].items():
+        hist.add_row([label, f"{count:,}"])
+    lines.append(hist.render())
+
+    occupancy = report["occupancy"]
+    imbalance = report["imbalance"]
+    lines.append(
+        f"parallel windows: {report['parallel_windows']:,} "
+        f"({report['parallel_window_events']:,} events, "
+        f"{report['merge_live_events']:,} merged live); "
+        f"occupancy {'-' if occupancy is None else f'{occupancy:.2f}'}; "
+        f"imbalance {'-' if imbalance is None else f'{imbalance:.2f}'}"
+    )
+    fallback = report["parallel_fallback"]
+    if fallback:
+        lines.append(f"parallel fallback: {fallback}")
+
+    channels = Table(
+        ["src", "dst", "derived lookahead", "pushes", "observed min slack"],
+        title="cross-partition channels (observed slack must stay >= 0)",
+    )
+    for ch in report["channels"]:
+        slack = ch["min_slack"]
+        channels.add_row([
+            ch["src"],
+            ch["dst"],
+            f"{ch['lookahead']:.3e}",
+            f"{ch['pushes']:,}",
+            "-" if slack is None else f"{slack:.3e}",
+        ])
+    lines.append(channels.render())
+    return "\n\n".join(lines)
+
+
 def _cmd_graph500(args: argparse.Namespace) -> int:
     from repro.graph500.runner import Graph500Runner
 
@@ -103,10 +160,19 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         on_root_failure=args.on_root_failure,
         workers=args.workers,
         engine_partitions=args.engine_partitions,
+        drain_workers=args.drain_workers,
+        drain_backend=args.drain_backend,
         sanitize=args.sanitize,
     )
     report = runner.run(num_roots=args.roots)
     print(report.summary())
+    if args.partition_report:
+        print()
+        if runner.partition_report is None:
+            print("partition report: engine ran unpartitioned "
+                  "(--engine-partitions 1) or under fork workers")
+        else:
+            print(_render_partition_report(runner.partition_report))
     if args.per_root:
         print()
         print(report.per_root_table())
@@ -244,6 +310,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.sanitizers import check_determinism
 
     partitions = [int(p) for p in str(args.engine_partitions).split(",") if p]
+    drain = [int(w) for w in str(args.drain_workers).split(",") if w]
     result = check_determinism(
         scale=args.scale,
         nodes=args.nodes,
@@ -254,6 +321,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         runs=args.runs,
         validate=not args.no_validate,
         engine_partitions=partitions if len(partitions) > 1 else partitions[0],
+        drain_workers=drain if len(drain) > 1 else drain[0],
     )
     print(result.render())
     return 0 if result.ok else 1
@@ -435,6 +503,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="conservative-sync PDES partitions for the event "
                         "engine (1 = sequential loop; results are "
                         "bit-identical either way)")
+    p.add_argument("--drain-workers", type=int, default=1,
+                   help="worker pool size for parallel drain of compute "
+                        "lanes between sync points (1 = serial; needs "
+                        "--engine-partitions >= 2; bit-identical results)")
+    p.add_argument("--drain-backend", choices=["thread", "process"],
+                   default="thread",
+                   help="parallel drain backend: thread pool (GIL-bound) "
+                        "or forked processes attaching the shared CSR")
+    p.add_argument("--partition-report", action="store_true",
+                   help="print PDES accounting after the run: per-lane "
+                        "loads, drain-run histogram, window occupancy, "
+                        "observed vs derived channel slack")
     fault = p.add_argument_group("fault injection (seeded, replayable)")
     fault.add_argument("--drop-rate", type=float, default=0.0,
                        help="probability a message is dropped on the wire")
@@ -494,7 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="determinism lint over python sources (rule ids REP101-REP106)",
+        help="determinism lint over python sources (rule ids REP101-REP107)",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the installed "
@@ -535,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="PDES partition count, or a comma list cycled "
                         "across runs (e.g. '1,2' proves the partitioned "
                         "engine digest-identical to the sequential one)")
+    p.add_argument("--drain-workers", default="1",
+                   help="parallel drain worker count, or a comma list "
+                        "cycled across runs (e.g. '1,2' proves the "
+                        "parallel drain digest-identical to the serial "
+                        "one; needs --engine-partitions >= 2)")
     p.set_defaults(func=_cmd_sanitize)
 
     p = sub.add_parser(

@@ -17,6 +17,8 @@ don't inherit memory at all.
 
 from __future__ import annotations
 
+import atexit
+
 import numpy as np
 
 from repro.errors import ConfigError
@@ -49,7 +51,15 @@ def shared_memory_available() -> bool:
 
 
 class SharedCSR:
-    """A CSR graph whose arrays live in one shared-memory segment."""
+    """A CSR graph whose arrays live in one shared-memory segment.
+
+    Both :meth:`host` and :meth:`attach` results are context managers —
+    ``with SharedCSR.host(graph) as shared:`` guarantees :meth:`destroy`
+    on every exit path. A hosted segment additionally registers an atexit
+    unlink guard: an exception path (or a worker crash that propagates up
+    and skips a ``finally``) can never strand the named segment in
+    ``/dev/shm`` past interpreter exit.
+    """
 
     def __init__(
         self, segment: object, graph: CSRGraph, name: str, owner: bool
@@ -59,6 +69,24 @@ class SharedCSR:
         self.graph = graph
         self.name = name
         self._owner = owner
+        self._atexit_guard = None
+        if owner:
+            # Bind the segment, not self: the guard must not keep the
+            # (large) graph views alive, and destroy() disarms it.
+            segment_ref = segment
+            def _unlink_guard() -> None:  # pragma: no cover - exit path
+                try:
+                    segment_ref.unlink()  # type: ignore[attr-defined]
+                except (FileNotFoundError, OSError):
+                    pass
+            self._atexit_guard = _unlink_guard
+            atexit.register(_unlink_guard)
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.destroy()
 
     # -- construction ------------------------------------------------------------
     @classmethod
@@ -126,3 +154,6 @@ class SharedCSR:
             except FileNotFoundError:  # pragma: no cover - already reaped
                 pass
             self._owner = False
+        if self._atexit_guard is not None:
+            atexit.unregister(self._atexit_guard)
+            self._atexit_guard = None

@@ -33,6 +33,10 @@ SIM_CORE_PACKAGES = ("core", "sim", "machine", "network")
 RULE_EXEMPT_FILES = {
     "REP102": ("repro/sim/rng.py",),
     "REP106": ("repro/sim/partition.py",),
+    # partition.py owns the journal-merge replay (it IS the journal API);
+    # faults.py installs transport interposers by design, and the parallel
+    # drain scheduler detects interposers and falls back to serial.
+    "REP107": ("repro/sim/partition.py", "repro/sim/faults.py"),
 }
 
 _NOQA_RE = re.compile(
@@ -98,6 +102,17 @@ RULES: dict[str, Rule] = {
             "(_lanes/_entries/_drain_bound/_node_partition) outside "
             "repro.sim.partition; cross-partition events must flow through "
             "the engine's scheduling/channel API, not shared mutable lanes",
+            "sim-core",
+        ),
+        Rule(
+            "REP107",
+            "journal-bypass-mutation",
+            "attribute store through a shared engine/cluster handle "
+            "(x.engine.attr = / x.cluster.attr += ...); compute-lane "
+            "callbacks race under parallel drain unless shared-state "
+            "mutation goes through the drain journal API (engine.journal "
+            "fold_max/fold_add, journal-aware metrics) or the engine's "
+            "scheduling API",
             "sim-core",
         ),
     )

@@ -22,11 +22,27 @@ Label semantics follow the Prometheus conventions that matter here:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigError
+
+#: Thread-local drain journal. While a parallel drain window executes
+#: (:mod:`repro.sim.partition`), every metric mutation made on a worker
+#: thread is routed into the worker's journal instead of the shared
+#: object, and replayed on the coordinator in exact global event order —
+#: the only way float accumulation and span/metric interleavings stay
+#: bit-identical to the sequential engine. Coordinator threads (and every
+#: run without parallel drain) see ``journal is None`` and take the plain
+#: in-place path, so the sequential hot path costs one thread-local read.
+_DRAIN_SINK = threading.local()
+
+
+def set_drain_sink(journal: Any) -> None:
+    """Install (or with ``None`` clear) this thread's metric journal."""
+    _DRAIN_SINK.journal = journal
 
 #: Default histogram bucket upper bounds (seconds-ish, log-spaced).
 DEFAULT_BUCKETS = (
@@ -42,7 +58,11 @@ class Counter:
     value: float = 0.0
 
     def add(self, amount: float = 1.0) -> None:
-        self.value += amount
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is None:
+            self.value += amount
+        else:
+            journal.metric_op("cadd", self, amount)
 
 
 @dataclass
@@ -53,15 +73,27 @@ class Gauge:
     value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is None:
+            self.value = value
+        else:
+            journal.metric_op("gset", self, value)
 
     def add(self, amount: float = 1.0) -> None:
-        self.value += amount
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is None:
+            self.value += amount
+        else:
+            journal.metric_op("gadd", self, amount)
 
     def max(self, value: float) -> None:
         """Keep the running maximum (peak-tracking gauges)."""
-        if value > self.value:
-            self.value = value
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is None:
+            if value > self.value:
+                self.value = value
+        else:
+            journal.metric_op("gmax", self, value)
 
 
 @dataclass
@@ -81,6 +113,10 @@ class Histogram:
             self.counts = [0] * len(self.buckets)
 
     def observe(self, value: float) -> None:
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is not None:
+            journal.metric_op("hobs", self, value)
+            return
         self.total += value
         self.count += 1
         for i, bound in enumerate(self.buckets):
@@ -109,8 +145,12 @@ class TimeSeries:
     values: list[float] = field(default_factory=list)
 
     def observe(self, time: float, value: float) -> None:
-        self.times.append(time)
-        self.values.append(value)
+        journal = getattr(_DRAIN_SINK, "journal", None)
+        if journal is None:
+            self.times.append(time)
+            self.values.append(value)
+        else:
+            journal.metric_op("tobs", self, (time, value))
 
     def __len__(self) -> int:
         return len(self.values)
@@ -155,6 +195,12 @@ class MetricsRegistry:
         # compatibility: SimCluster and tests read ``registry.counters``).
         self.counters: dict[str, Counter] = {}
         self._families: dict[str, _Family] = {}
+        # Guards family/child *creation* only. Parallel drain workers may
+        # race to materialise the same labeled child; without the lock two
+        # Counter objects could exist for one key and journaled mutations
+        # on the loser would be lost. Reads stay lock-free (dict.get is
+        # atomic) and snapshots sort, so creation order never leaks.
+        self._create_lock = threading.Lock()
 
     # -- family plumbing -----------------------------------------------------
     def _child(
@@ -162,26 +208,42 @@ class MetricsRegistry:
     ) -> Any:
         keys = tuple(sorted(labels))
         family = self._families.get(name)
-        if family is None:
-            family = self._families[name] = _Family(name, kind, keys)
-        elif family.kind != kind:
-            raise ConfigError(
-                f"metric {name!r} is a {family.kind}, not a {kind}"
-            )
-        elif family.label_keys != keys:
-            raise ConfigError(
-                f"metric {name!r} has labels {family.label_keys}, "
-                f"got {keys}"
-            )
-        values = tuple(labels[k] for k in keys)
-        child = family.children.get(values)
-        if child is None:
-            child = family.children[values] = factory(
-                _render_key(name, keys, values)
-            )
-            if kind == "counter" and not keys:
-                self.counters[name] = child
-        return child
+        if family is not None and family.kind == kind and family.label_keys == keys:
+            values = tuple(labels[k] for k in keys)
+            child = family.children.get(values)
+            if child is not None:
+                return child
+        with self._create_lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(name, kind, keys)
+            elif family.kind != kind:
+                raise ConfigError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            elif family.label_keys != keys:
+                raise ConfigError(
+                    f"metric {name!r} has labels {family.label_keys}, "
+                    f"got {keys}"
+                )
+            values = tuple(labels[k] for k in keys)
+            child = family.children.get(values)
+            if child is None:
+                child = family.children[values] = factory(
+                    _render_key(name, keys, values)
+                )
+                if kind == "counter" and not keys:
+                    self.counters[name] = child
+            return child
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_create_lock"]  # locks don't pickle; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._create_lock = threading.Lock()
 
     # -- metric constructors ---------------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:

@@ -2,7 +2,7 @@
 
 Never imported; linted by tests/test_sanitizers_lint.py with the
 ``sim-core`` scope forced, to prove ``repro lint`` rejects each hazard
-class (REP101-REP106) and exits nonzero.
+class (REP101-REP107) and exits nonzero.
 """
 
 import heapq
@@ -41,3 +41,11 @@ def smuggle_event(engine, fn) -> None:
     # REP106: pushing straight into a partition lane bypasses the
     # channel API's lookahead validation and drain-bound update.
     heapq.heappush(engine._lanes[1], [0.0, 0, fn, ()])
+
+
+class LaneCallback:
+    def on_message(self, count: int) -> None:
+        # REP107: mutating shared cluster state from a compute-lane
+        # callback bypasses the drain journal; parallel drain workers
+        # race on the read-modify-write.
+        self.cluster.records_sent += count

@@ -55,3 +55,51 @@ def test_variant_selection():
 def test_runner_validation():
     with pytest.raises(ConfigError):
         Graph500Runner(scale=10, nodes=0)
+    with pytest.raises(ConfigError):
+        Graph500Runner(scale=10, nodes=4, drain_workers=0)
+    with pytest.raises(ConfigError):
+        Graph500Runner(scale=10, nodes=4, drain_backend="gpu")
+
+
+def test_parallel_drain_run_matches_serial_and_reports():
+    kw = dict(scale=8, nodes=4, seed=3, config=CFG, nodes_per_super_node=2,
+              engine_partitions=2)
+    serial = Graph500Runner(**kw).run(num_roots=2)
+    runner = Graph500Runner(**kw, drain_workers=2)
+    parallel = runner.run(num_roots=2)
+    assert parallel.all_validated
+    assert [r.seconds for r in parallel.runs] == [r.seconds for r in serial.runs]
+    assert runner.partition_report is not None
+    assert runner.partition_report["drain_workers"] == 2
+
+
+def test_run_destroys_shared_segment_on_failure(monkeypatch):
+    """Regression: a crash propagating out of the run (e.g. a worker
+    dying mid-root) must not strand the hosted CSR segment."""
+    from multiprocessing import shared_memory
+
+    from repro.graph import shm
+
+    if not shm.shared_memory_available():
+        pytest.skip("no usable shared-memory mount")
+    names = []
+    real_host = shm.SharedCSR.host.__func__
+
+    def capturing_host(cls, graph):
+        shared = real_host(cls, graph)
+        names.append(shared.name)
+        return shared
+
+    monkeypatch.setattr(shm.SharedCSR, "host", classmethod(capturing_host))
+    runner = Graph500Runner(scale=8, nodes=4, seed=3, config=CFG,
+                            nodes_per_super_node=2, workers=2)
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("worker died mid-root")
+
+    monkeypatch.setattr(runner, "_run_steps", boom)
+    with pytest.raises(RuntimeError, match="worker died"):
+        runner.run(num_roots=2)
+    assert names, "workers>1 run must host the CSR in shared memory"
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names[0])

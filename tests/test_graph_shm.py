@@ -111,6 +111,56 @@ def test_destroy_tolerates_live_views():
         shared_memory.SharedMemory(name=name)
 
 
+def test_context_manager_destroys_on_exception():
+    """Regression: an exception inside the hosting block used to strand
+    the named segment in /dev/shm; the context manager must destroy it
+    on every exit path."""
+    from multiprocessing import shared_memory
+
+    name = None
+    with pytest.raises(RuntimeError, match="boom"):
+        with SharedCSR.host(_graph()) as shared:
+            name = shared.name
+            raise RuntimeError("boom")
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_attach_context_manager_closes_without_unlinking():
+    with SharedCSR.host(_graph()) as host:
+        with SharedCSR.attach(host.handle()) as attached:
+            assert attached.graph.num_vertices == host.graph.num_vertices
+        # The attaching side must not unlink the hosting side's name.
+        again = SharedCSR.attach(host.handle())
+        again.destroy()
+
+
+def test_atexit_guard_registered_and_disarmed():
+    """The hosting side arms an atexit unlink guard (covers crashes that
+    skip the finally) and destroy() must disarm it so a reused segment
+    name is never unlinked out from under a later owner."""
+    import atexit
+
+    shared = SharedCSR.host(_graph())
+    guard = shared._atexit_guard
+    assert guard is not None
+    shared.destroy()
+    assert shared._atexit_guard is None
+    # Disarmed: re-registering and unregistering must be a no-op pair,
+    # and calling the stale guard directly must tolerate the dead name.
+    atexit.unregister(guard)
+    guard()  # FileNotFoundError is swallowed by the guard
+
+
+def test_attach_side_registers_no_guard():
+    with SharedCSR.host(_graph()) as host:
+        attached = SharedCSR.attach(host.handle())
+        try:
+            assert attached._atexit_guard is None
+        finally:
+            attached.destroy()
+
+
 def test_bfs_on_shared_graph_matches_private_graph():
     """A traversal over the shm-backed graph is bit-identical to one over
     the private copy — the graph is data, not behaviour."""

@@ -1,0 +1,239 @@
+"""Unit tests for the parallel drain scheduler (repro.sim.partition).
+
+The parity suite pins whole traversals bit-identical across
+``drain_workers`` counts; this file drives the window machinery against
+small hand-built scenarios where the safe answer is obvious: claim
+ceilings at exact boundaries, empty lanes beside pending fabric work,
+window-local events that must be re-queued rather than executed, the
+fallback ladder, and the partition-report accounting.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.simmpi import SimCluster
+from repro.sim.partition import PartitionedEngine
+from repro.telemetry.metrics import TimeSeries
+
+
+class _Msg:
+    """Minimal message shape for lane classification (src/dst/send_time)."""
+
+    __slots__ = ("src", "dst", "send_time")
+
+    def __init__(self, src, dst, send_time=0.0):
+        self.src = src
+        self.dst = dst
+        self.send_time = send_time
+
+
+def _attached(partitions=2, drain_workers=2, num_nodes=16, nps=8,
+              backend="thread"):
+    engine = PartitionedEngine(
+        partitions, drain_workers=drain_workers, drain_backend=backend
+    )
+    cluster = SimCluster(engine, num_nodes, nodes_per_super_node=nps)
+    engine.attach_cluster(cluster)
+    return engine, cluster
+
+
+def _scripted(drain_workers, script):
+    """Run ``script(engine, deliver, series)`` on a 2-partition engine and
+    return the globally ordered event trace. ``deliver`` is a registered
+    delivery route, so ``engine.call_at(when, deliver, _Msg(d, d))`` lands
+    on node ``d``'s compute lane exactly like a kernel message delivery.
+    The trace rides a journal-aware TimeSeries: worker-side observations
+    are journaled and applied at the merge in exact global (when, seq)
+    order, so the recorded sequence IS the engine's event order (a plain
+    list.append would interleave racily across worker threads).
+    """
+    engine, _ = _attached(drain_workers=drain_workers)
+    series = TimeSeries("trace")
+
+    def deliver(msg):
+        series.observe(engine.now, msg.dst)
+
+    engine.register_delivery(deliver)
+    script(engine, deliver, series)
+    engine.run()
+    assert len(engine) == 0
+    return list(zip(series.times, series.values)), engine
+
+
+def _assert_parallel_matches_serial(script):
+    """The scripted scenario must execute identically at 1 and 2 workers,
+    and the 2-worker run must actually dispatch parallel windows."""
+    serial, _ = _scripted(1, script)
+    parallel, engine = _scripted(2, script)
+    assert parallel == serial
+    report = engine.partition_report()
+    assert report["parallel_fallback"] is None
+    assert report["parallel_windows"] >= 1
+    return serial, report
+
+
+# --- edge case: simultaneous lane heads at the exact claim bound --------------
+def test_simultaneous_heads_at_exact_lookahead_bound():
+    """Heads on both lanes at exactly ``T0 + L`` are claimable (the bound
+    is inclusive) and must still execute in exact global (when, seq)
+    order — schedule order breaks the timestamp tie."""
+
+    def script(engine, deliver, series):
+        # T0 = 1us; la_cap = T0 + 1us (intra-SN pair latency) = 2us.
+        engine.call_at(1e-6, deliver, _Msg(0, 0))       # lane 0, seq 0
+        engine.call_at(2e-6, deliver, _Msg(1, 1))       # lane 0, at cap
+        engine.call_at(2e-6, deliver, _Msg(8, 8))       # lane 1, same when
+        engine.call_at(2e-6, deliver, _Msg(9, 9))       # lane 1, later seq
+
+    trace, _ = _assert_parallel_matches_serial(script)
+    assert trace == [(1e-6, 0), (2e-6, 1), (2e-6, 8), (2e-6, 9)]
+
+
+def test_simultaneous_heads_on_both_lanes_at_window_start():
+    """Both lanes opening at the same T0: both heads are claimed and the
+    smaller pre-window seq executes first."""
+
+    def script(engine, deliver, series):
+        engine.call_at(1e-6, deliver, _Msg(8, 8))       # lane 1 first
+        engine.call_at(1e-6, deliver, _Msg(0, 0))       # lane 0 second
+
+    trace, _ = _assert_parallel_matches_serial(script)
+    assert trace == [(1e-6, 8), (1e-6, 0)]
+
+
+# --- edge case: empty compute lane beside pending fabric events ---------------
+def test_empty_compute_lane_with_pending_fabric_events():
+    """A lane with no work must not stall the window loop while the
+    fabric still holds admissions destined for it."""
+    engine, cluster = _attached(drain_workers=2)
+    got = []
+    for rank in range(16):
+        cluster.register(rank, lambda msg, r=rank: got.append(r))
+    cluster.send(0, 9, "t", 64)  # rides the fabric into empty lane 1
+    engine.run()
+    assert got == [9]
+    assert len(engine) == 0
+    report = engine.partition_report()
+    assert report["lane_events"]["fabric"] >= 1
+    assert report["lane_events"]["compute"][1] >= 1
+
+
+# --- edge case: window-local event past the cap is re-queued ------------------
+def test_local_event_past_cap_requeued_not_executed():
+    """A callback that schedules onto its own lane *beyond* the lookahead
+    ceiling must have that event re-queued at the merge, not executed in
+    the window — a cross-lane push may still land in between."""
+    OPEN, PUSH, LOCAL = -1, -2, -3
+
+    def script(engine, deliver, series):
+        def late_local(msg):
+            series.observe(engine.now, LOCAL)
+
+        def cross_push(msg):
+            series.observe(engine.now, PUSH)
+            # Cross-partition delivery into lane 0 at 5us (3.5us slack
+            # >= the 3us inter-SN lookahead) — earlier than the 6us
+            # local event lane 0 spawned for itself in the same window.
+            engine.call_at(5e-6, deliver, _Msg(8, 0, send_time=engine.now))
+
+        def opener(msg):
+            series.observe(engine.now, OPEN)
+            engine.call_at(6e-6, late_local, _Msg(0, 0))
+
+        engine.register_delivery(late_local)
+        engine.register_delivery(cross_push)
+        engine.register_delivery(opener)
+        engine.call_at(1.0e-6, opener, _Msg(0, 0))      # lane 0 claim
+        engine.call_at(1.5e-6, cross_push, _Msg(8, 8))  # lane 1 claim
+
+    serial, _ = _scripted(1, script)
+    parallel, engine = _scripted(2, script)
+    assert parallel == serial
+    report = engine.partition_report()
+    assert report["parallel_fallback"] is None
+    assert report["parallel_windows"] >= 1
+    # Global order: the window-born cross delivery at 5us must precede
+    # the window-local 6us event even though the latter was journaled
+    # first — i.e. the local run was cut at the cap and re-queued.
+    assert parallel == [
+        (1.0e-6, OPEN), (1.5e-6, PUSH), (5e-6, 0), (6e-6, LOCAL),
+    ]
+
+
+# --- fallback ladder ----------------------------------------------------------
+def test_fallback_reasons_recorded():
+    engine, _ = _attached(drain_workers=1)
+    engine.run()
+    assert engine.partition_report()["parallel_fallback"] == "drain_workers=1"
+
+    engine, _ = _attached(drain_workers=2)
+    engine.run(max_events=10)
+    assert "budget" in engine.partition_report()["parallel_fallback"]
+
+    engine, _ = _attached(drain_workers=2)
+    engine.mark_parallel_unsafe("shared retransmit state")
+    engine.run()
+    assert (
+        engine.partition_report()["parallel_fallback"]
+        == "shared retransmit state"
+    )
+
+
+def test_fallback_on_cluster_interposer():
+    engine, cluster = _attached(drain_workers=2)
+    original = cluster.send
+    cluster.send = lambda *a, **k: original(*a, **k)  # instance interposer
+    engine.run()
+    assert "interposer" in engine.partition_report()["parallel_fallback"]
+
+
+def test_process_backend_requires_codec():
+    engine, _ = _attached(drain_workers=2, backend="process")
+    engine.run()
+    if hasattr(os, "fork"):
+        assert "codec" in engine.partition_report()["parallel_fallback"]
+
+
+def test_rejects_bad_drain_config():
+    with pytest.raises(ConfigError):
+        PartitionedEngine(2, drain_workers=0)
+    with pytest.raises(ConfigError):
+        PartitionedEngine(2, drain_workers=2, drain_backend="gpu")
+
+
+# --- accounting ---------------------------------------------------------------
+def test_partition_report_window_accounting():
+    def script(engine, deliver, series):
+        for i in range(4):
+            engine.call_at(1e-6 + i * 1e-9, deliver, _Msg(0, 0))
+            engine.call_at(1e-6 + i * 1e-9, deliver, _Msg(8, 8))
+
+    _, engine = _scripted(2, script)
+    report = engine.partition_report()
+    assert report["parallel_windows"] >= 1
+    assert report["parallel_window_events"] >= 2
+    assert report["drain_workers"] == 2
+    assert report["drain_backend"] == "thread"
+    assert 0.0 < report["occupancy"] <= 1.0
+    assert report["imbalance"] >= 1.0
+    assert sum(report["drain_run_hist"].values()) == report["drains"]
+
+
+def test_drain_histogram_buckets_by_run_length():
+    engine, _ = _attached(drain_workers=1)
+    ran = []
+
+    def deliver(msg):
+        ran.append(msg.dst)
+
+    engine.register_delivery(deliver)
+    # One run of 3 events on lane 0 (all below lane 1's head), then 1.
+    for i in range(3):
+        engine.call_at(1e-6 + i * 1e-10, deliver, _Msg(0, 0))
+    engine.call_at(1e-3, deliver, _Msg(8, 8))
+    engine.run()
+    hist = engine.partition_report()["drain_run_hist"]
+    assert hist.get("2-3") == 1  # the 3-event run
+    assert hist.get("1") == 1    # the singleton run
