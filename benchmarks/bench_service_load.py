@@ -1,0 +1,521 @@
+"""Service load benchmark: throughput, fairness, and the CI smoke gate.
+
+Three modes against the long-lived query service (``repro.service``),
+each writing a ``mode``-keyed entry into ``BENCH_harness.json`` next to
+the harness wall-clock rows:
+
+- ``load`` — four closed-loop tenants hammer one pinned scale-13 graph
+  over a warmed hot-root set; the gate is sustained throughput
+  (``--throughput-floor``, default 500 queries/sec). This is the
+  hot-root cache doing its job: a hit costs microseconds and never
+  touches the scheduler.
+- ``skew`` — a 10:1 load skew with the cache disabled: three flooding
+  tenants submit ten times the queries of one light ("starved") tenant,
+  everything lands in the queues up front, and the fairness ratio is
+  snapshotted the moment the light tenant's last future resolves:
+  ``light_served / (total_served / tenants)``. Deficit-round-robin keeps
+  this near 1.0; a FIFO queue would score ~0.1 because the light tenant
+  drains last. Gate: ``--fairness-floor`` (default 0.8 — the starved
+  tenant gets at least 80% of its fair share).
+- ``smoke`` — the CI job: a real asyncio socket server, two tenants
+  mixing BFS and PageRank at scale 11, asserting zero sheds and a p99
+  latency gate, and writing the per-tenant service report as an
+  artifact (``--report-out``).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+
+records the ``load`` and ``skew`` entries; ``--mode smoke`` is what
+``.github/workflows/ci.yml``'s service-smoke job runs. ``--max-regression``
+gates ``phases.total`` against the existing JSON exactly like the
+wall-clock benchmark (entries share its point keying).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_harness.json"
+
+
+def _service(scale, nodes, workers, cache_capacity, seed):
+    """A service with one resident graph ``g`` plus its hot roots."""
+    from repro.service import GraphService, GraphSpec, ServiceConfig
+
+    svc = GraphService(
+        ServiceConfig(
+            workers=workers,
+            cache_capacity=cache_capacity,
+            host_shared=False,  # benchmark in-process; no shm segments
+        )
+    )
+    entry = svc.load_graph("g", GraphSpec(scale=scale, nodes=nodes, seed=seed))
+    return svc, entry
+
+
+def time_service_load(
+    scale: int = 13,
+    nodes: int = 4,
+    tenants: int = 4,
+    hot_roots: int = 64,
+    queries_per_tenant: int = 500,
+    workers: int = 2,
+    seed: int = 1,
+) -> dict:
+    """Closed-loop multi-tenant throughput over a warmed hot-root set."""
+    from repro.service import QueryRequest
+    from repro.service.catalog import sample_hot_roots
+
+    svc, entry = _service(scale, nodes, workers, 4096, seed)
+    try:
+        roots = [int(r) for r in sample_hot_roots(entry, hot_roots, seed=seed)]
+        t0 = time.perf_counter()
+        for root in roots:
+            result = svc.query(QueryRequest("g", "bfs", {"root": root},
+                                            tenant="warm"))
+            assert result.ok, result.error
+        warm = time.perf_counter() - t0
+
+        statuses: list[dict[str, int]] = [
+            {"ok": 0, "shed": 0, "timeout": 0, "error": 0}
+            for _ in range(tenants)
+        ]
+
+        def drive(i: int) -> None:
+            for j in range(queries_per_tenant):
+                root = roots[(i + j) % len(roots)]
+                result = svc.query(
+                    QueryRequest("g", "bfs", {"root": root}, tenant=f"t{i}")
+                )
+                statuses[i][result.status] += 1
+
+        threads = [
+            threading.Thread(target=drive, args=(i,), name=f"tenant-{i}")
+            for i in range(tenants)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        drive_seconds = time.perf_counter() - t0
+
+        total = tenants * queries_per_tenant
+        ok = sum(s["ok"] for s in statuses)
+        shed = sum(s["shed"] for s in statuses)
+        cache = svc.cache.stats()
+        p99 = max(
+            svc.tenant_stats(f"t{i}")["p99_seconds"] for i in range(tenants)
+        )
+        return {
+            "mode": "service-load",
+            "scale": scale,
+            "nodes": nodes,
+            "roots": hot_roots,
+            "workers": workers,
+            "tenants": tenants,
+            "queries": total,
+            "phases": {
+                "warm": round(warm, 4),
+                "drive": round(drive_seconds, 4),
+                "total": round(drive_seconds, 4),
+            },
+            "queries_per_sec": round(total / drive_seconds, 1),
+            "ok": ok,
+            "shed": shed,
+            "cache_hit_rate": round(cache["hit_rate"], 4),
+            "p99_seconds": round(p99, 6),
+        }
+    finally:
+        svc.close()
+
+
+def time_service_skew(
+    scale: int = 11,
+    nodes: int = 4,
+    heavy_tenants: int = 3,
+    skew: int = 10,
+    light_queries: int = 6,
+    workers: int = 1,
+    seed: int = 1,
+) -> dict:
+    """10:1 load skew, cache off: DRR fairness for the starved tenant.
+
+    All queries are submitted up front — the heavy floods first, so the
+    light tenant arrives to already-deep queues. ``fairness_ratio`` is
+    the light tenant's share of completed work, relative to an exact
+    1/tenants split, measured when its last future resolves (the service
+    keeps draining the flood afterwards; that part isn't the metric).
+    """
+    from repro.service import QueryRequest
+    from repro.service.catalog import sample_hot_roots
+
+    svc, entry = _service(scale, nodes, workers, 0, seed)
+    try:
+        roots = [int(r) for r in sample_hot_roots(entry, 8, seed=seed)]
+        num_tenants = heavy_tenants + 1
+        t0 = time.perf_counter()
+        heavy_futures = []
+        for i in range(heavy_tenants):
+            for j in range(skew * light_queries):
+                heavy_futures.append(
+                    svc.submit(
+                        QueryRequest("g", "bfs",
+                                     {"root": roots[j % len(roots)]},
+                                     tenant=f"heavy{i}")
+                    )
+                )
+        light_futures = [
+            svc.submit(
+                QueryRequest("g", "bfs", {"root": roots[j % len(roots)]},
+                             tenant="light")
+            )
+            for j in range(light_queries)
+        ]
+        for f in light_futures:
+            result = f.result()
+            assert result.ok, result.error
+        # Snapshot now — while the flood is still draining — not after.
+        light_served = svc.scheduler.stats("light")["served"]
+        heavy_served = [
+            svc.scheduler.stats(f"heavy{i}")["served"]
+            for i in range(heavy_tenants)
+        ]
+        total_served = light_served + sum(heavy_served)
+        fair_share = total_served / num_tenants
+        fairness = light_served / fair_share if fair_share else 0.0
+        light_done = time.perf_counter() - t0
+        for f in heavy_futures:
+            f.result()
+        elapsed = time.perf_counter() - t0
+        return {
+            "mode": "service-skew",
+            "scale": scale,
+            "nodes": nodes,
+            "roots": len(roots),
+            "workers": workers,
+            "tenants": num_tenants,
+            "skew": skew,
+            "light_queries": light_queries,
+            "heavy_queries": heavy_tenants * skew * light_queries,
+            "phases": {
+                "light_done": round(light_done, 4),
+                "drain": round(elapsed - light_done, 4),
+                "total": round(elapsed, 4),
+            },
+            "light_served_at_snapshot": light_served,
+            "heavy_served_at_snapshot": heavy_served,
+            "fairness_ratio": round(fairness, 3),
+        }
+    finally:
+        svc.close()
+
+
+def time_service_smoke(
+    scale: int = 11,
+    nodes: int = 4,
+    tenants: int = 2,
+    hot_roots: int = 8,
+    queries_per_tenant: int = 24,
+    workers: int = 2,
+    seed: int = 1,
+    report_out: str | None = None,
+) -> dict:
+    """The CI smoke: mixed BFS/PageRank over a real loopback socket."""
+    import asyncio
+
+    from repro.service import ServiceClient, ServiceServer
+    from repro.service.catalog import sample_hot_roots
+
+    svc, entry = _service(scale, nodes, workers, 4096, seed)
+    roots = [int(r) for r in sample_hot_roots(entry, hot_roots, seed=seed)]
+    loop = asyncio.new_event_loop()
+    server = ServiceServer(svc)
+    ready = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="svc-server", daemon=True)
+    thread.start()
+    assert ready.wait(30), "server failed to start"
+    try:
+        def drive(i: int, counts: dict) -> None:
+            with ServiceClient(port=server.port) as client:
+                for j in range(queries_per_tenant):
+                    # Even tenants walk BFS hot roots; odd tenants mix in
+                    # PageRank so both kernel families cross the wire.
+                    if i % 2 == 0 or j % 2 == 0:
+                        result = client.query(
+                            "g", "bfs", {"root": roots[j % len(roots)]},
+                            tenant=f"t{i}", arrays=False,
+                        )
+                    else:
+                        result = client.query(
+                            "g", "pagerank", {"iterations": 10},
+                            tenant=f"t{i}", arrays=False,
+                        )
+                    counts[result.status] = counts.get(result.status, 0) + 1
+
+        counts: list[dict] = [{} for _ in range(tenants)]
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=drive, args=(i, counts[i]))
+            for i in range(tenants)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+
+        sheds = sum(c.get("shed", 0) for c in counts)
+        errors = sum(c.get("error", 0) for c in counts)
+        ok = sum(c.get("ok", 0) for c in counts)
+        p99 = max(
+            svc.tenant_stats(f"t{i}")["p99_seconds"] for i in range(tenants)
+        )
+        report = svc.report()
+        if report_out:
+            path = pathlib.Path(report_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report + "\n")
+        return {
+            "mode": "service-smoke",
+            "scale": scale,
+            "nodes": nodes,
+            "roots": hot_roots,
+            "workers": workers,
+            "tenants": tenants,
+            "queries": tenants * queries_per_tenant,
+            "phases": {"total": round(elapsed, 4)},
+            "queries_per_sec": round(tenants * queries_per_tenant / elapsed, 1),
+            "ok": ok,
+            "shed": sheds,
+            "error": errors,
+            "p99_seconds": round(p99, 6),
+        }
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(30)
+        loop.close()
+        svc.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    from bench_harness_wallclock import _point_key, check_regressions
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("load", "skew", "smoke", "all"),
+                        default="all",
+                        help="all = load + skew (the recorded trajectory "
+                             "points); smoke is the CI socket gate")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="override the per-mode default scale "
+                             "(load: 13, skew/smoke: 11)")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--hot-roots", type=int, default=64)
+    parser.add_argument("--queries-per-tenant", type=int, default=500)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--skew", type=int, default=10)
+    parser.add_argument("--light-queries", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--throughput-floor", type=float, default=500.0,
+                        help="load mode fails under this many queries/sec")
+    parser.add_argument("--fairness-floor", type=float, default=0.8,
+                        help="skew mode fails if the starved tenant gets "
+                             "less than this fraction of its fair share")
+    parser.add_argument("--p99-gate", type=float, default=None,
+                        help="smoke mode fails if any tenant's p99 latency "
+                             "exceeds this many seconds")
+    parser.add_argument("--report-out", default=None,
+                        help="smoke mode: write the per-tenant service "
+                             "report here (the CI artifact)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="fail if a matching point's total slowed by "
+                             "more than this fraction vs the existing JSON")
+    args = parser.parse_args(argv)
+
+    out_path = pathlib.Path(args.output)
+    previous = None
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = None
+
+    results = []
+    complaints: list[str] = []
+    modes = ("load", "skew") if args.mode == "all" else (args.mode,)
+
+    if "load" in modes:
+        entry = time_service_load(
+            scale=args.scale or 13, nodes=args.nodes, tenants=args.tenants,
+            hot_roots=args.hot_roots,
+            queries_per_tenant=args.queries_per_tenant,
+            workers=args.workers, seed=args.seed,
+        )
+        results.append(entry)
+        print(f"load: scale {entry['scale']} tenants {entry['tenants']} "
+              f"queries {entry['queries']}: "
+              f"{entry['queries_per_sec']:.0f} q/s "
+              f"(hit rate {entry['cache_hit_rate']:.2%}, "
+              f"p99 {entry['p99_seconds'] * 1e3:.3f} ms, "
+              f"shed {entry['shed']})")
+        if entry["queries_per_sec"] < args.throughput_floor:
+            complaints.append(
+                f"load throughput {entry['queries_per_sec']:.0f} q/s is "
+                f"under the {args.throughput_floor:.0f} q/s floor"
+            )
+        if entry["ok"] != entry["queries"]:
+            complaints.append(
+                f"load run had {entry['queries'] - entry['ok']} non-ok "
+                f"queries of {entry['queries']}"
+            )
+
+    if "skew" in modes:
+        entry = time_service_skew(
+            scale=args.scale or 11, nodes=args.nodes,
+            heavy_tenants=args.tenants - 1, skew=args.skew,
+            light_queries=args.light_queries, seed=args.seed,
+        )
+        results.append(entry)
+        print(f"skew: scale {entry['scale']} "
+              f"{entry['tenants'] - 1}x{args.skew}:1 flood: starved tenant "
+              f"served {entry['light_served_at_snapshot']} vs fair share — "
+              f"ratio {entry['fairness_ratio']:.3f} "
+              f"(light done in {entry['phases']['light_done']:.3f}s, "
+              f"flood drained in {entry['phases']['total']:.3f}s)")
+        if entry["fairness_ratio"] < args.fairness_floor:
+            complaints.append(
+                f"skew fairness ratio {entry['fairness_ratio']:.3f} is "
+                f"under the {args.fairness_floor:.2f} floor"
+            )
+
+    if "smoke" in modes:
+        entry = time_service_smoke(
+            scale=args.scale or 11, nodes=args.nodes,
+            hot_roots=args.hot_roots,
+            queries_per_tenant=args.queries_per_tenant,
+            workers=args.workers, seed=args.seed,
+            report_out=args.report_out,
+        )
+        results.append(entry)
+        print(f"smoke: scale {entry['scale']} {entry['tenants']} tenants "
+              f"over the socket: {entry['queries']} queries in "
+              f"{entry['phases']['total']:.3f}s "
+              f"({entry['queries_per_sec']:.0f} q/s, "
+              f"p99 {entry['p99_seconds'] * 1e3:.3f} ms, "
+              f"shed {entry['shed']}, error {entry['error']})")
+        if entry["shed"]:
+            complaints.append(f"smoke run shed {entry['shed']} queries")
+        if entry["error"]:
+            complaints.append(f"smoke run had {entry['error']} errors")
+        if args.p99_gate is not None and entry["p99_seconds"] > args.p99_gate:
+            complaints.append(
+                f"smoke p99 {entry['p99_seconds']:.3f}s exceeds the "
+                f"{args.p99_gate:.3f}s gate"
+            )
+
+    # Same carry-forward union as the wall-clock benchmark: this run only
+    # re-measures its own modes; every other recorded point survives.
+    merged = results
+    if previous is not None:
+        measured = {_point_key(e) for e in results}
+        merged = [
+            e for e in previous.get("results", [])
+            if _point_key(e) not in measured
+        ] + results
+
+    payload = {
+        "benchmark": previous.get("benchmark", "harness_wallclock")
+        if previous else "harness_wallclock",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": __import__("os").cpu_count(),
+        },
+        "results": merged,
+    }
+    if previous is not None and "baseline" in previous:
+        payload["baseline"] = previous["baseline"]
+    if previous is not None:
+        history = previous.get("history", [])
+        if previous.get("results"):
+            history.append(
+                {"timestamp": previous.get("timestamp"),
+                 "results": previous["results"]}
+            )
+        if history:
+            payload["history"] = history[-20:]
+
+    if args.max_regression is not None and previous is not None:
+        complaints.extend(
+            check_regressions(previous, results, args.max_regression)
+        )
+
+    for line in complaints:
+        print(f"GATE: {line}", file=sys.stderr)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 1 if complaints else 0
+
+
+def test_service_load_smoke(save_report):
+    """Pytest smoke: a tiny closed-loop run serves everything from the
+    hot-root cache and reports a positive throughput."""
+    entry = time_service_load(
+        scale=9, nodes=2, tenants=2, hot_roots=8, queries_per_tenant=40,
+        workers=2,
+    )
+    assert entry["ok"] == entry["queries"] == 80
+    assert entry["shed"] == 0
+    assert entry["queries_per_sec"] > 0
+    # Everything after the warm is hot; the warm itself charges two misses
+    # per root (the cache is consulted at submit and again at dequeue).
+    assert entry["cache_hit_rate"] > 0.8
+    save_report("service_load_smoke", json.dumps(entry, indent=2))
+
+
+def test_service_skew_smoke(save_report):
+    """Pytest smoke: under a 5:1 flood the starved tenant still gets at
+    least 80% of its fair share (DRR, not FIFO)."""
+    entry = time_service_skew(
+        scale=9, nodes=2, heavy_tenants=2, skew=5, light_queries=4,
+    )
+    assert entry["light_served_at_snapshot"] == 4
+    assert entry["fairness_ratio"] >= 0.8
+    save_report("service_skew_smoke", json.dumps(entry, indent=2))
+
+
+def test_service_socket_smoke(save_report, tmp_path):
+    """Pytest smoke: the socket mode round-trips both kernel families
+    with zero sheds and writes the report artifact."""
+    report_path = tmp_path / "service-report.txt"
+    entry = time_service_smoke(
+        scale=8, nodes=2, hot_roots=4, queries_per_tenant=4, workers=1,
+        report_out=str(report_path),
+    )
+    assert entry["ok"] == entry["queries"] == 8
+    assert entry["shed"] == 0 and entry["error"] == 0
+    assert "per-tenant service report" in report_path.read_text()
+    save_report("service_socket_smoke", json.dumps(entry, indent=2))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,7 @@ class SuperstepEngine:
         config: BFSConfig | None = None,
         spec: MachineSpec = TAIHULIGHT,
         nodes_per_super_node: int | None = None,
+        graph: CSRGraph | None = None,
     ):
         self.config = config or BFSConfig()
         self.spec = spec
@@ -84,7 +85,17 @@ class SuperstepEngine:
             raise ConfigError(f"need at least one node, got {nodes}")
         self.num_nodes = nodes
         self.edges = edges
-        self.graph = CSRGraph.from_edges(edges)
+        # ``graph`` threads an already-built symmetrised deduplicated CSR
+        # (e.g. a catalog-pinned instance) past re-derivation, exactly like
+        # DistributedBFS(graph=...); only the cheap vertex-count check runs.
+        if graph is None:
+            graph = CSRGraph.from_edges(edges)
+        elif graph.num_vertices != edges.num_vertices:
+            raise ConfigError(
+                f"prebuilt graph has {graph.num_vertices} vertices, "
+                f"edge list has {edges.num_vertices}"
+            )
+        self.graph = graph
         n = self.graph.num_vertices
         if nodes > n:
             raise ConfigError(f"{nodes} nodes for only {n} vertices")

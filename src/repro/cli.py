@@ -12,7 +12,9 @@ Commands:
   deadlock-free;
 - ``sanitize`` — double-run determinism check (digest diff);
 - ``chaos`` — seeded chaos campaign over the erasure-coded checkpoint
-  store, asserting bit-identical recovery against the fault-free run.
+  store, asserting bit-identical recovery against the fault-free run;
+- ``serve`` / ``query`` — the long-lived multi-tenant graph query
+  service and its client (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -481,6 +483,152 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_graph_spec(spec: str):
+    """``NAME:SCALE[:NODES[:SEED]]`` → (name, GraphSpec)."""
+    from repro.errors import ConfigError
+    from repro.service import GraphSpec
+
+    parts = spec.split(":")
+    if not 2 <= len(parts) <= 4 or not parts[0]:
+        raise ConfigError(
+            f"bad graph spec {spec!r}: expected NAME:SCALE[:NODES[:SEED]]"
+        )
+    try:
+        scale = int(parts[1])
+        nodes = int(parts[2]) if len(parts) > 2 else 8
+        seed = int(parts[3]) if len(parts) > 3 else 1
+    except ValueError:
+        raise ConfigError(f"bad graph spec {spec!r}: non-integer field") from None
+    return parts[0], GraphSpec(scale=scale, nodes=nodes, seed=seed)
+
+
+def _parse_tenant_spec(spec: str):
+    """``NAME:RATE[:BURST[:WEIGHT]]`` → (name, TenantConfig); RATE may be
+    ``-`` for unlimited."""
+    from repro.errors import ConfigError
+    from repro.service import TenantConfig
+
+    parts = spec.split(":")
+    if not 2 <= len(parts) <= 4 or not parts[0]:
+        raise ConfigError(
+            f"bad tenant spec {spec!r}: expected NAME:RATE[:BURST[:WEIGHT]]"
+        )
+    try:
+        rate = None if parts[1] in ("-", "") else float(parts[1])
+        burst = float(parts[2]) if len(parts) > 2 else 64.0
+        weight = float(parts[3]) if len(parts) > 3 else 1.0
+    except ValueError:
+        raise ConfigError(f"bad tenant spec {spec!r}: non-numeric field") from None
+    return parts[0], TenantConfig(rate=rate, burst=burst, weight=weight)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import GraphService, ServiceConfig, ServiceServer
+
+    service = GraphService(
+        ServiceConfig(
+            workers=args.workers,
+            cache_capacity=args.cache_capacity,
+            default_timeout=args.default_timeout,
+            host_shared=not args.no_shm,
+        )
+    )
+    for spec in args.preload or []:
+        name, graph_spec = _parse_graph_spec(spec)
+        entry = service.load_graph(name, graph_spec)
+        print(
+            f"loaded {name}: scale {graph_spec.scale}, "
+            f"{entry.graph.num_vertices:,} vertices, "
+            f"{int(entry.edges.num_edges):,} edges"
+            + (" (shared memory)" if entry.shared is not None else "")
+        )
+    for spec in args.tenant or []:
+        name, config = _parse_tenant_spec(spec)
+        service.configure_tenant(name, config)
+
+    async def _serve() -> None:
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - non-asyncio interrupt
+        pass
+    service.close()
+    if args.report:
+        print(service.report())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.service import ServiceClient
+
+    admin = args.ping or args.stats or args.report or args.load or args.evict
+    if not admin and (not args.graph or not args.algo):
+        raise ConfigError("query needs GRAPH and ALGO (or an admin flag)")
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if args.ping:
+            print(client.ping())
+            return 0
+        if args.stats:
+            import json
+
+            print(json.dumps(client.stats(), indent=2, default=str))
+            return 0
+        if args.report:
+            print(client.report())
+            return 0
+        if args.load:
+            name, spec = _parse_graph_spec(args.load)
+            print(client.load(name, scale=spec.scale, seed=spec.seed,
+                              nodes=spec.nodes))
+            return 0
+        if args.evict:
+            print(client.evict(args.evict))
+            return 0
+        params = {}
+        for kv in args.param or []:
+            key, sep, value = kv.partition("=")
+            if not sep:
+                raise ConfigError(f"bad --param {kv!r}: expected KEY=VALUE")
+            params[key] = value
+        result = client.query(
+            args.graph, args.algo, params, tenant=args.tenant,
+            timeout=args.timeout, arrays=not args.no_arrays,
+        )
+    print(
+        f"{result.status}: {result.algo} on {result.graph} "
+        f"(tenant {result.tenant}, cached {result.cached})"
+    )
+    if result.error:
+        print(f"error: {result.error}")
+    scalars = {
+        k: v for k, v in result.payload.items()
+        if isinstance(v, (int, float, str))
+    }
+    for key in sorted(scalars):
+        print(f"  {key}: {scalars[key]}")
+    print(
+        f"  latency {result.latency * 1e3:.3f} ms "
+        f"(queue {result.queue_wait * 1e3:.3f}, "
+        f"execute {result.execute_seconds * 1e3:.3f})"
+    )
+    return 0 if result.status == "ok" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -574,7 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="determinism lint over python sources (rule ids REP101-REP107)",
+        help="determinism lint over python sources (rule ids REP101-REP108)",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the installed "
@@ -582,7 +730,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--output", default=None,
                    help="write findings to this file instead of stdout")
-    p.add_argument("--scope", choices=["sim-core", "repro"], default=None,
+    p.add_argument("--scope", choices=["sim-core", "repro", "service"],
+                   default=None,
                    help="force a rule scope instead of deriving it from "
                         "each file's package path")
     p.add_argument("--list-rules", action="store_true",
@@ -699,6 +848,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("output")
     p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser(
+        "serve", help="run the multi-tenant graph query service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed on startup)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--cache-capacity", type=int, default=1024,
+                   help="hot-root result cache lines (0 disables)")
+    p.add_argument("--default-timeout", type=float, default=None,
+                   help="per-query deadline in seconds")
+    p.add_argument("--preload", action="append", metavar="NAME:SCALE[:NODES[:SEED]]",
+                   help="pre-build a catalog graph (repeatable)")
+    p.add_argument("--tenant", action="append", metavar="NAME:RATE[:BURST[:WEIGHT]]",
+                   help="tenant QoS config; RATE '-' = unlimited (repeatable)")
+    p.add_argument("--no-shm", action="store_true",
+                   help="skip shared-memory hosting of catalog CSRs")
+    p.add_argument("--report", action="store_true",
+                   help="print the per-tenant report on shutdown")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("query", help="query a running service")
+    p.add_argument("graph", nargs="?", help="catalog graph name")
+    p.add_argument("algo", nargs="?",
+                   help="bfs | sssp | pagerank | kcore | wcc")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="algorithm parameter (repeatable), e.g. root=3")
+    p.add_argument("--no-arrays", action="store_true",
+                   help="strip bulky payload arrays from the response")
+    p.add_argument("--ping", action="store_true")
+    p.add_argument("--stats", action="store_true",
+                   help="print machine-readable service stats")
+    p.add_argument("--report", action="store_true",
+                   help="print the server-rendered per-tenant report")
+    p.add_argument("--load", metavar="NAME:SCALE[:NODES[:SEED]]",
+                   help="load a graph into the catalog")
+    p.add_argument("--evict", metavar="NAME",
+                   help="evict a graph from the catalog")
+    p.set_defaults(func=_cmd_query)
     return parser
 
 

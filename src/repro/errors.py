@@ -58,3 +58,7 @@ class ValidationError(ReproError, AssertionError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event engine was driven into an invalid state."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A malformed, truncated, or oversized frame on the service wire."""

@@ -52,7 +52,20 @@ class CSRGraph:
         Defaults mirror benchmark step (3): the raw Kronecker list is
         symmetrised, self-loops are dropped and parallel edges collapse —
         none of which changes BFS results, only wasted work.
+
+        The result is cached on the (immutable) edge list per flag
+        combination: the harness derives the same CSR repeatedly — runner
+        validation, ``make_variant``, every superstep-engine construction —
+        and long-lived callers like the service catalog hand one EdgeList
+        to many kernels. The first build pays the sort; the rest are a
+        dict hit returning the very same (read-only by convention) object.
         """
+        flags = (symmetrize, dedup, drop_self_loops)
+        cache = edges.__dict__.get("_csr_cache")
+        if cache is not None:
+            hit = cache.get(flags)
+            if hit is not None:
+                return hit
         work = edges
         if drop_self_loops:
             work = work.without_self_loops()
@@ -66,7 +79,13 @@ class CSRGraph:
         counts = np.bincount(src, minlength=n)
         row_ptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=row_ptr[1:])
-        return cls(row_ptr, dst, n)
+        built = cls(row_ptr, dst, n)
+        if cache is None:
+            cache = {}
+            # EdgeList is a frozen dataclass; cache like its _dedup_cache.
+            object.__setattr__(edges, "_csr_cache", cache)
+        cache[flags] = built
+        return built
 
     # -- queries -------------------------------------------------------------------
     @property

@@ -161,20 +161,44 @@ class Graph500Runner:
             return 1
         return min(self.workers, num_roots)
 
-    def run(self, num_roots: int = 64) -> BenchmarkReport:
+    def run(
+        self,
+        num_roots: int = 64,
+        *,
+        edges=None,
+        graph: CSRGraph | None = None,
+        roots=None,
+    ) -> BenchmarkReport:
+        """Run the benchmark; prebuilt artifacts skip their pipeline step.
+
+        ``edges`` / ``graph`` / ``roots`` let a long-lived caller (the
+        service catalog pins exactly these three) hand the generated edge
+        list, the symmetrised deduplicated CSR and the sampled roots
+        straight through — no regeneration, no CSR re-derivation, no
+        re-validation beyond the vertex-count check ``make_variant``'s
+        kernel already does. A ``graph`` without its ``edges`` is refused:
+        TEPS accounting and validation need the raw tuples.
+        """
+        if graph is not None and edges is None:
+            raise ConfigError("a prebuilt graph needs its edge list too")
         # Step 1: generate the raw edge list.
-        gen = KroneckerGenerator(
-            self.spec.scale, self.spec.edge_factor, seed=self.seed
-        )
-        edges = gen.generate()
+        if edges is None:
+            gen = KroneckerGenerator(
+                self.spec.scale, self.spec.edge_factor, seed=self.seed
+            )
+            edges = gen.generate()
 
         # Step 2: sample non-trivial search roots.
-        roots = sample_roots(edges, num_roots, seed=self.seed)
+        if roots is None:
+            roots = sample_roots(edges, num_roots, seed=self.seed)
 
         # Step 3: construct the search structure *once* — the symmetrised
         # deduplicated CSR serves the validator and, threaded through
-        # ``make_variant``, the distributed kernel.
-        graph = CSRGraph.from_edges(edges)
+        # ``make_variant``, the distributed kernel. (``from_edges`` caches
+        # on the edge list, so a caller that already built it pays nothing
+        # even without passing ``graph=``.)
+        if graph is None:
+            graph = CSRGraph.from_edges(edges)
         workers = self._effective_workers(num_roots)
         shared = None
         if workers > 1 or (

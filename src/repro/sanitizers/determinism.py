@@ -61,6 +61,23 @@ _HOT_SUFFIXES = ("Message", "Event", "Packet", "Execution")
 _PDES_PRIVATE_ATTRS = frozenset(
     {"_lanes", "_entries", "_drain_bound", "_node_partition"}
 )
+#: Kernel entry points (REP108): inside ``repro.service`` only the
+#: catalog module may call these — everything else executes through a
+#: pinned CatalogEntry, which is what keeps graph lifecycle, kernel
+#: reuse, and batch/service parity in one place.
+_KERNEL_CONSTRUCTORS = frozenset(
+    {
+        "Graph500Runner",
+        "DistributedBFS",
+        "make_variant",
+        "SuperstepEngine",
+        "DistributedSSSP",
+        "DistributedDeltaStepping",
+        "DistributedPageRank",
+        "DistributedWCC",
+        "DistributedKCore",
+    }
+)
 #: Handle names that reach state shared across compute lanes. A store
 #: through one of them (``x.engine.attr = ...``) mutates engine/cluster
 #: state that parallel drain workers would race on; such mutations must
@@ -183,6 +200,15 @@ class _LintVisitor(ast.NodeVisitor):
         if dotted is not None:
             self._check_clock_call(node, dotted)
             self._check_rng_call(node, dotted)
+            callee = dotted.rpartition(".")[2]
+            if callee in _KERNEL_CONSTRUCTORS:
+                self._emit(
+                    "REP108",
+                    node,
+                    f"kernel construction {callee}() inside repro.service: "
+                    "only the catalog builds kernels; execute queries "
+                    "through a pinned CatalogEntry",
+                )
         if isinstance(node.func, ast.Name):
             name = node.func.id
             if name in _ITER_WRAPPERS and node.args and _is_set_expr(node.args[0]):

@@ -37,6 +37,9 @@ RULE_EXEMPT_FILES = {
     # faults.py installs transport interposers by design, and the parallel
     # drain scheduler detects interposers and falls back to serial.
     "REP107": ("repro/sim/partition.py", "repro/sim/faults.py"),
+    # The catalog is the service's one sanctioned kernel-construction
+    # site: entries own their kernels and the execute dispatch.
+    "REP108": ("repro/service/catalog.py",),
 }
 
 _NOQA_RE = re.compile(
@@ -114,6 +117,15 @@ RULES: dict[str, Rule] = {
             "fold_max/fold_add, journal-aware metrics) or the engine's "
             "scheduling API",
             "sim-core",
+        ),
+        Rule(
+            "REP108",
+            "service-kernel-bypass",
+            "direct kernel construction (Graph500Runner / make_variant / "
+            "DistributedBFS / superstep algorithms) inside repro.service "
+            "outside the catalog module; queries must execute through a "
+            "pinned CatalogEntry so lifecycle, caching, and parity hold",
+            "service",
         ),
     )
 }
@@ -230,4 +242,8 @@ def rule_applies(rule: Rule, path: str, scope: str) -> bool:
             return False
     if rule.scope == "repro":
         return True
+    if rule.scope == "service":
+        # Layering rules live where the layer does, independent of the
+        # sim-core/repro scope split.
+        return "repro/service/" in norm or scope == "service"
     return scope == "sim-core"

@@ -1,0 +1,57 @@
+"""Long-lived multi-tenant graph query service.
+
+The batch harness (:mod:`repro.graph500`) answers "how fast is one BFS
+sweep"; this package answers "what does the machine look like *hosting*
+traversal as a service" — resident graphs, concurrent tenants, admission
+control, fairness, caching, per-tenant telemetry. See docs/service.md for
+the architecture and the wire protocol.
+
+Layering (lint rule REP108 keeps it honest): only
+:mod:`repro.service.catalog` constructs kernels; everything else goes
+through a pinned :class:`~repro.service.catalog.CatalogEntry`.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.catalog import CatalogEntry, GraphCatalog, GraphSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.query import (
+    PARAM_SCHEMAS,
+    QueryRequest,
+    QueryResult,
+    cache_key,
+    canonical_params,
+)
+from repro.service.scheduler import (
+    QUEUED,
+    SHED_QUEUE,
+    SHED_RATE,
+    FairScheduler,
+    TenantConfig,
+    TokenBucket,
+)
+from repro.service.server import ServiceServer, run_server
+from repro.service.service import GraphService, ServiceConfig
+
+__all__ = [
+    "PARAM_SCHEMAS",
+    "QUEUED",
+    "SHED_QUEUE",
+    "SHED_RATE",
+    "CatalogEntry",
+    "FairScheduler",
+    "GraphCatalog",
+    "GraphService",
+    "GraphSpec",
+    "QueryRequest",
+    "QueryResult",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "TenantConfig",
+    "TokenBucket",
+    "cache_key",
+    "canonical_params",
+    "run_server",
+]

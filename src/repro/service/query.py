@@ -1,0 +1,179 @@
+"""Query model: requests, canonical parameters, results.
+
+A :class:`QueryRequest` names a catalog graph, an algorithm, and the
+algorithm's parameters. Parameters are *canonicalised* before anything
+else touches them — defaults filled, types normalised, unknown keys
+rejected — so that two requests meaning the same computation produce the
+same :func:`cache_key` regardless of spelling (``{"root": 5}`` and
+``{"root": 5, "variant": "relay-cpe"}`` hit the same hot-root cache
+line), and so the execution layer never sees a malformed parameter set.
+
+Results carry the algorithm payload (numpy arrays included — the parity
+suite pins them bit-identical to the batch paths) plus the service-side
+accounting every response reports: status, cache hit, queue wait and
+execute time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+#: Algorithms the service dispatches, with their parameter schemas:
+#: ``name -> {param: (required, normaliser, default)}``.
+_INT = int
+_FLOAT = float
+_STR = str
+
+PARAM_SCHEMAS: dict[str, dict[str, tuple[bool, Any, Any]]] = {
+    "bfs": {
+        "root": (True, _INT, None),
+        "variant": (False, _STR, "relay-cpe"),
+    },
+    "sssp": {
+        "root": (True, _INT, None),
+        "method": (False, _STR, "bellman-ford"),
+        "max_weight": (False, _INT, 8),
+        "delta": (False, _FLOAT, 2.0),
+    },
+    "pagerank": {
+        "iterations": (False, _INT, 20),
+        "tol": (False, _FLOAT, 0.0),
+        "damping": (False, _FLOAT, 0.85),
+    },
+    "kcore": {
+        "k": (True, _INT, None),
+    },
+    "wcc": {},
+}
+
+#: Statuses a finished query can report. ``shed`` is the 429-style
+#: admission rejection (rate limit or full queue); ``timeout`` covers both
+#: a deadline passing in the queue and one firing mid-execute.
+STATUSES = ("ok", "shed", "timeout", "error")
+
+
+def canonical_params(algo: str, params: Mapping[str, Any] | None) -> dict:
+    """Validate and normalise ``params`` for ``algo``; defaults filled.
+
+    Raises :class:`~repro.errors.ConfigError` for an unknown algorithm,
+    an unknown parameter, a missing required parameter, or a value the
+    parameter's type normaliser rejects.
+    """
+    schema = PARAM_SCHEMAS.get(algo)
+    if schema is None:
+        raise ConfigError(
+            f"unknown algorithm {algo!r}; choose from {sorted(PARAM_SCHEMAS)}"
+        )
+    params = dict(params or {})
+    out: dict[str, Any] = {}
+    for key in sorted(schema):
+        required, norm, default = schema[key]
+        if key in params:
+            raw = params.pop(key)
+            try:
+                out[key] = norm(raw)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"bad value {raw!r} for {algo} parameter {key!r}"
+                ) from None
+        elif required:
+            raise ConfigError(f"{algo} requires parameter {key!r}")
+        else:
+            out[key] = default
+    if params:
+        raise ConfigError(
+            f"unknown {algo} parameter(s) {sorted(params)}; "
+            f"known: {sorted(schema)}"
+        )
+    return out
+
+
+def cache_key(graph: str, algo: str, params: Mapping[str, Any]) -> tuple:
+    """Hashable hot-root cache key over canonicalised parameters."""
+    return (graph, algo, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query against a catalog graph.
+
+    ``params`` are canonicalised at construction; equal computations
+    compare equal and share one :meth:`key`. ``timeout`` is a wall-clock
+    deadline in seconds from submission (None = no deadline).
+    """
+
+    graph: str
+    algo: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", canonical_params(self.algo, self.params)
+        )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {self.timeout}")
+
+    def key(self) -> tuple:
+        return cache_key(self.graph, self.algo, self.params)
+
+
+@dataclass
+class QueryResult:
+    """What the service returns for one request."""
+
+    status: str
+    graph: str
+    algo: str
+    tenant: str
+    params: dict = field(default_factory=dict)
+    #: Algorithm output: arrays (parent/dist/ranks/in_core/labels) plus
+    #: scalars (levels, sim_seconds, supersteps, traversed_edges...).
+    payload: dict = field(default_factory=dict)
+    cached: bool = False
+    error: str | None = None
+    #: Wall-clock accounting (seconds): admission->dequeue, dequeue->done,
+    #: and the whole submit->done span.
+    queue_wait: float = 0.0
+    execute_seconds: float = 0.0
+    latency: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """Wire shape (arrays still raw; the protocol codec handles them)."""
+        return {
+            "status": self.status,
+            "graph": self.graph,
+            "algo": self.algo,
+            "tenant": self.tenant,
+            "params": dict(self.params),
+            "payload": dict(self.payload),
+            "cached": self.cached,
+            "error": self.error,
+            "queue_wait": self.queue_wait,
+            "execute_seconds": self.execute_seconds,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "QueryResult":
+        return cls(
+            status=doc["status"],
+            graph=doc["graph"],
+            algo=doc["algo"],
+            tenant=doc["tenant"],
+            params=dict(doc.get("params", {})),
+            payload=dict(doc.get("payload", {})),
+            cached=bool(doc.get("cached", False)),
+            error=doc.get("error"),
+            queue_wait=float(doc.get("queue_wait", 0.0)),
+            execute_seconds=float(doc.get("execute_seconds", 0.0)),
+            latency=float(doc.get("latency", 0.0)),
+        )

@@ -1,0 +1,199 @@
+"""Asyncio socket frontend for :class:`~repro.service.service.GraphService`.
+
+One long-lived TCP listener; each connection is a sequence of
+length-prefixed JSON frames (see :mod:`repro.service.protocol`), one
+request frame → one response frame, pipelining allowed. The event loop
+only parses frames and shuttles work — execution happens on the service's
+worker pool via ``run_in_executor``-free future bridging
+(:func:`asyncio.wrap_future` over the service's ``concurrent`` future), so
+a slow BFS never blocks an admission check on another connection.
+
+Ops:
+
+- ``query``: graph/algo/params/tenant/timeout → a QueryResult document.
+  By default the bulky payload arrays are included; ``"arrays": false``
+  strips them (latency probes, load generators).
+- ``load`` / ``evict``: catalog lifecycle.
+- ``stats``: machine-readable per-tenant + cache + catalog numbers.
+- ``report``: the rendered human table (what ``repro serve --report``
+  prints server-side).
+- ``ping``: liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ProtocolError, ReproError
+from repro.service.catalog import GraphSpec
+from repro.service.protocol import (
+    HEADER,
+    decode_body,
+    encode_frame,
+    read_frame_length,
+)
+from repro.service.query import QueryRequest
+from repro.service.scheduler import TenantConfig
+from repro.service.service import GraphService
+
+#: Payload keys that are large arrays, strippable with ``"arrays": false``.
+_ARRAY_KEYS = ("parent", "dist", "ranks", "in_core", "labels")
+
+
+class ServiceServer:
+    """TCP frontend bound to one :class:`GraphService`."""
+
+    def __init__(self, service: GraphService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 binds an ephemeral port; surface the real one.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER.size)
+                except asyncio.IncompleteReadError:
+                    return  # clean or mid-header EOF: connection is done
+                try:
+                    body = await reader.readexactly(read_frame_length(header))
+                    request = decode_body(body)
+                    response = await self._dispatch(request)
+                except asyncio.IncompleteReadError:
+                    return
+                except ProtocolError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                writer.write(encode_frame(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return await handler(request)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+
+    # -- ops ----------------------------------------------------------------------
+    async def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "graphs": self.service.catalog.names()}
+
+    async def _op_query(self, request: dict) -> dict:
+        query = QueryRequest(
+            graph=request.get("graph", ""),
+            algo=request.get("algo", ""),
+            params=request.get("params") or {},
+            tenant=request.get("tenant", "default"),
+            timeout=request.get("timeout"),
+        )
+        future = self.service.submit(query)
+        result = await asyncio.wrap_future(future)
+        doc = result.to_dict()
+        if request.get("arrays", True) is False:
+            for key in _ARRAY_KEYS:
+                doc["payload"].pop(key, None)
+        doc["ok"] = True
+        return doc
+
+    async def _op_load(self, request: dict) -> dict:
+        spec = GraphSpec(
+            scale=int(request.get("scale", 0)),
+            edge_factor=int(request.get("edge_factor", 16)),
+            seed=int(request.get("seed", 1)),
+            nodes=int(request.get("nodes", 8)),
+            nodes_per_super_node=request.get("nodes_per_super_node"),
+        )
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(
+            None, self.service.load_graph, request.get("graph", ""), spec
+        )
+        return {
+            "ok": True,
+            "graph": entry.name,
+            "vertices": entry.graph.num_vertices,
+            "edges": int(entry.edges.num_edges),
+            "shared_memory": entry.shared is not None,
+        }
+
+    async def _op_evict(self, request: dict) -> dict:
+        outcome = self.service.evict_graph(request.get("graph", ""))
+        return {"ok": True, **outcome}
+
+    async def _op_configure_tenant(self, request: dict) -> dict:
+        config = TenantConfig(
+            rate=request.get("rate"),
+            burst=float(request.get("burst", 64.0)),
+            weight=float(request.get("weight", 1.0)),
+            max_queue_depth=int(request.get("max_queue_depth", 256)),
+        )
+        self.service.configure_tenant(request.get("tenant", "default"), config)
+        return {"ok": True}
+
+    async def _op_stats(self, request: dict) -> dict:
+        tenants = sorted(
+            set(self.service.scheduler.tenants())
+            | set(self.service._seen_tenants())
+        )
+        return {
+            "ok": True,
+            "tenants": {t: self.service.tenant_stats(t) for t in tenants},
+            "cache": (
+                self.service.cache.stats()
+                if self.service.cache is not None
+                else None
+            ),
+            "catalog": self.service.catalog.stats(),
+        }
+
+    async def _op_report(self, request: dict) -> dict:
+        return {"ok": True, "report": self.service.report()}
+
+
+async def run_server(
+    service: GraphService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+) -> None:
+    """Start a :class:`ServiceServer` and serve until cancelled."""
+    server = ServiceServer(service, host=host, port=port)
+    await server.start()
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

@@ -135,6 +135,31 @@ class Histogram:
         """Snapshot value of a histogram is its observation count."""
         return float(self.count)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the cumulative buckets.
+
+        Prometheus-style linear interpolation inside the bucket that
+        crosses rank ``q * count`` (assuming uniform spread within it);
+        a hit in the unbounded last bucket reports that bucket's lower
+        edge — the histogram cannot see past its largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        lo = 0.0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            if bucket_count and cum + bucket_count >= rank:
+                if bound == float("inf"):
+                    return lo
+                fraction = (rank - cum) / bucket_count
+                return lo + (bound - lo) * fraction
+            cum += bucket_count
+            lo = bound if bound != float("inf") else lo
+        return lo
+
 
 @dataclass
 class TimeSeries:

@@ -1,8 +1,9 @@
 """Deliberately nondeterministic module — every lint rule fires here.
 
 Never imported; linted by tests/test_sanitizers_lint.py with the
-``sim-core`` scope forced, to prove ``repro lint`` rejects each hazard
-class (REP101-REP107) and exits nonzero.
+``sim-core`` scope forced (REP101-REP107) and again with the ``service``
+scope (REP108), to prove ``repro lint`` rejects each hazard class and
+exits nonzero.
 """
 
 import heapq
@@ -49,3 +50,11 @@ class LaneCallback:
         # callback bypasses the drain journal; parallel drain workers
         # race on the read-modify-write.
         self.cluster.records_sent += count
+
+
+def rogue_query(edges):
+    # REP108: kernel construction inside repro.service outside the
+    # catalog module bypasses entry pinning and the result cache.
+    from repro.baselines import make_variant
+
+    return make_variant("relay-cpe", edges, 4).run(0)

@@ -166,3 +166,91 @@ def test_graph500_rejects_bad_disk_fault_spec():
 def test_unknown_command_errors():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+# --- service commands ---------------------------------------------------------
+def test_serve_graph_spec_parsing():
+    from repro.cli import _parse_graph_spec
+    from repro.errors import ConfigError
+
+    name, spec = _parse_graph_spec("web:13:4:7")
+    assert name == "web" and (spec.scale, spec.nodes, spec.seed) == (13, 4, 7)
+    name, spec = _parse_graph_spec("g:10")
+    assert (spec.nodes, spec.seed) == (8, 1)  # defaults
+    for bad in ("g", ":10", "g:ten", "g:1:2:3:4"):
+        with pytest.raises(ConfigError, match="spec"):
+            _parse_graph_spec(bad)
+
+
+def test_serve_tenant_spec_parsing():
+    from repro.cli import _parse_tenant_spec
+    from repro.errors import ConfigError
+
+    name, cfg = _parse_tenant_spec("gold:100:16:2")
+    assert name == "gold"
+    assert (cfg.rate, cfg.burst, cfg.weight) == (100.0, 16.0, 2.0)
+    _, unlimited = _parse_tenant_spec("free:-")
+    assert unlimited.rate is None
+    with pytest.raises(ConfigError, match="spec"):
+        _parse_tenant_spec("lonely")
+
+
+def test_query_requires_graph_and_algo():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="GRAPH and ALGO"):
+        main(["query", "--port", "1"])
+
+
+def test_serve_and_query_roundtrip(capsys):
+    """End-to-end through the real CLI: a server thread and the query
+    command talking over a loopback socket."""
+    import asyncio
+    import re
+    import threading
+
+    # Run the server pieces in-process (the serve command itself blocks on
+    # signals, so drive its components directly at the same layer).
+    from repro.service import (
+        GraphService,
+        GraphSpec,
+        ServiceConfig,
+        ServiceServer,
+    )
+
+    svc = GraphService(ServiceConfig(workers=1, host_shared=False))
+    svc.load_graph("g", GraphSpec(scale=7, nodes=2))
+    loop = asyncio.new_event_loop()
+    server = ServiceServer(svc)
+    ready = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    try:
+        port = str(server.port)
+        rc = main(["query", "g", "bfs", "--port", port, "--param", "root=0",
+                   "--no-arrays", "--tenant", "cli"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok: bfs on g" in out
+        assert re.search(r"latency \d", out)
+
+        rc = main(["query", "--port", port, "--ping"])
+        assert rc == 0
+        assert "'g'" in capsys.readouterr().out
+
+        rc = main(["query", "--port", port, "--report"])
+        assert rc == 0
+        assert "per-tenant service report" in capsys.readouterr().out
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        svc.close()

@@ -25,6 +25,35 @@ def test_self_loops_dropped_by_default():
     assert g.num_edges == 0
 
 
+def test_from_edges_caches_per_flag_combination():
+    """Repeated derivation over one edge list returns the same CSR object;
+    different flag combinations build (and cache) distinct graphs."""
+    e = EdgeList(np.array([0, 0, 1]), np.array([1, 1, 2]), 3)
+    first = CSRGraph.from_edges(e)
+    assert CSRGraph.from_edges(e) is first
+    directed = CSRGraph.from_edges(e, symmetrize=False)
+    assert directed is not first
+    assert CSRGraph.from_edges(e, symmetrize=False) is directed
+    # A fresh (equal) EdgeList has its own cache — keying is per instance.
+    e2 = EdgeList(np.array([0, 0, 1]), np.array([1, 1, 2]), 3)
+    assert CSRGraph.from_edges(e2) is not first
+
+
+def test_prebuilt_graph_threads_through_engines():
+    """DistributedBFS and the superstep engines accept a prebuilt CSR and
+    reject one whose vertex count disagrees with the edge list."""
+    from repro.algorithms import DistributedWCC
+    from repro.core.bfs import DistributedBFS
+
+    e = EdgeList(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+    g = CSRGraph.from_edges(e)
+    assert DistributedBFS(e, 2, graph=g).graph is g
+    assert DistributedWCC(e, 2, graph=g).engine.graph is g
+    wrong = CSRGraph.from_edges(EdgeList(np.array([0]), np.array([1]), 8))
+    with pytest.raises(ConfigError):
+        DistributedWCC(e, 2, graph=wrong)
+
+
 def test_directed_construction():
     e = EdgeList(np.array([0]), np.array([1]), 2)
     g = CSRGraph.from_edges(e, symmetrize=False)

@@ -155,6 +155,37 @@ def test_rep107_only_in_sim_core_scope():
     assert lint_source(src, path="src/repro/telemetry/x.py").ok
 
 
+def test_rep108_kernel_construction_in_service_flagged():
+    for call in (
+        "make_variant('relay-cpe', e, 4)",
+        "Graph500Runner(scale=10, nodes=4)",
+        "DistributedBFS(e, 4)",
+        "DistributedPageRank(e, 4)",
+        "SuperstepEngine(e, 4)",
+    ):
+        report = lint_source(
+            f"k = {call}\n", path="src/repro/service/worker.py"
+        )
+        assert rules_hit(report) == {"REP108"}, call
+
+
+def test_rep108_catalog_module_exempt():
+    src = "k = make_variant('relay-cpe', e, 4)\n"
+    assert lint_source(src, path="src/repro/service/catalog.py").ok
+
+
+def test_rep108_silent_outside_service():
+    src = "k = make_variant('relay-cpe', e, 4)\n"
+    assert lint_source(src, path="src/repro/graph500/runner.py").ok
+    assert lint_source(src, path="src/repro/core/bfs.py").ok
+
+
+def test_rep108_suppressible():
+    src = "k = DistributedWCC(e, 4)  # repro: noqa[REP108]\n"
+    report = lint_source(src, path="src/repro/service/x.py")
+    assert report.ok and report.suppressed == 1
+
+
 def test_syntax_error_reported_not_raised():
     report = lint_source("def f(:\n", path="src/repro/core/x.py")
     assert [f.rule for f in report.findings] == ["REP100"]
@@ -195,8 +226,11 @@ def test_scope_override_forces_sim_core_rules():
 # --- the fixture exercises every rule -----------------------------------------
 def test_fixture_trips_every_rule():
     report = lint_paths([FIXTURE], scope="sim-core")
-    assert rules_hit(report) == set(RULES)
+    assert rules_hit(report) == set(RULES) - {"REP108"}
     assert not report.ok
+    # The service-layer rule needs the service scope to fire.
+    service = lint_paths([FIXTURE], scope="service")
+    assert "REP108" in rules_hit(service)
 
 
 # --- the repo itself is clean (the CI gate) -----------------------------------
@@ -219,7 +253,15 @@ def test_cli_lint_nonzero_on_fixture(capsys):
     rc = main(["lint", FIXTURE, "--scope", "sim-core", "--format", "json"])
     assert rc == 1
     doc = json.loads(capsys.readouterr().out)
-    assert set(doc["counts"]) == set(RULES)
+    # REP108 is a service-layer rule; the sim-core pass fires the rest.
+    assert set(doc["counts"]) == set(RULES) - {"REP108"}
+
+
+def test_cli_lint_service_scope_on_fixture(capsys):
+    rc = main(["lint", FIXTURE, "--scope", "service", "--format", "json"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert "REP108" in doc["counts"]
 
 
 def test_cli_list_rules(capsys):

@@ -1,0 +1,79 @@
+"""Result-cache semantics: LRU order, invalidation, counters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import ResultCache, cache_key, canonical_params
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigError):
+        ResultCache(0)
+
+
+def test_hit_miss_counters():
+    cache = ResultCache(4)
+    key = ("g", "bfs", (("root", 1),))
+    assert cache.get(key) is None
+    cache.put(key, {"x": 1})
+    assert cache.get(key) == {"x": 1}
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate() == 0.5
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a; b is now least-recent
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_invalidate_graph_drops_only_that_graph():
+    cache = ResultCache(8)
+    for root in range(3):
+        cache.put(cache_key("g1", "bfs", {"root": root}), root)
+    cache.put(cache_key("g2", "bfs", {"root": 0}), "keep")
+    assert cache.invalidate_graph("g1") == 3
+    assert len(cache) == 1
+    assert cache.get(cache_key("g2", "bfs", {"root": 0})) == "keep"
+    assert cache.invalidations == 3
+
+
+def test_clear_counts_as_invalidation():
+    cache = ResultCache(4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.clear()
+    assert len(cache) == 0 and cache.invalidations == 2
+
+
+def test_canonicalisation_collapses_spellings_to_one_key():
+    """Defaults filled vs explicit, int-vs-string roots: one cache line."""
+    implicit = canonical_params("bfs", {"root": 5})
+    explicit = canonical_params("bfs", {"root": "5", "variant": "relay-cpe"})
+    assert implicit == explicit
+    assert cache_key("g", "bfs", implicit) == cache_key("g", "bfs", explicit)
+
+
+def test_canonicalisation_rejects_garbage():
+    with pytest.raises(ConfigError, match="unknown algorithm"):
+        canonical_params("sha256", {})
+    with pytest.raises(ConfigError, match="requires parameter"):
+        canonical_params("bfs", {})
+    with pytest.raises(ConfigError, match="unknown bfs parameter"):
+        canonical_params("bfs", {"root": 1, "fanout": 3})
+    with pytest.raises(ConfigError, match="bad value"):
+        canonical_params("bfs", {"root": "seven"})
+
+
+def test_stats_shape():
+    cache = ResultCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    stats = cache.stats()
+    assert stats["size"] == 1 and stats["capacity"] == 4
+    assert stats["hits"] == 1 and stats["hit_rate"] == 1.0

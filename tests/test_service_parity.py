@@ -1,0 +1,198 @@
+"""Service results must be bit-identical to the batch paths.
+
+The service is a *frontend*, not a fork: a query through the catalog's
+pinned artifacts must produce exactly what ``Graph500Runner`` /
+``repro.algorithms`` produce over the same inputs — same parent arrays,
+same distances, same float ranks, same simulated seconds. Closeness is
+not accepted; these are equality assertions.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    DistributedDeltaStepping,
+    DistributedKCore,
+    DistributedPageRank,
+    DistributedSSSP,
+    DistributedWCC,
+)
+from repro.baselines import make_variant
+from repro.graph.kronecker import KroneckerGenerator
+from repro.graph500.timing import traversed_edges
+from repro.service import (
+    GraphService,
+    GraphSpec,
+    QueryRequest,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+SCALE, NODES, SEED = 8, 4, 1
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return KroneckerGenerator(SCALE, seed=SEED).generate()
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = GraphService(ServiceConfig(workers=2, host_shared=False))
+    svc.load_graph("g", GraphSpec(scale=SCALE, nodes=NODES, seed=SEED))
+    yield svc
+    svc.close()
+
+
+def _query(service, algo, params):
+    result = service.query(QueryRequest(graph="g", algo=algo, params=params))
+    assert result.status == "ok", result.error
+    return result
+
+
+def test_catalog_graph_matches_batch_generation(service, edges):
+    entry = service.catalog.get("g")
+    assert np.array_equal(entry.edges.src, edges.src)
+    assert np.array_equal(entry.edges.dst, edges.dst)
+
+
+def test_bfs_parity_with_make_variant(service, edges):
+    kernel = make_variant("relay-cpe", edges, NODES)
+    for root in (0, 3, 17):
+        batch = kernel.run(root)
+        served = _query(service, "bfs", {"root": root})
+        assert np.array_equal(served.payload["parent"], batch.parent)
+        assert served.payload["levels"] == batch.levels
+        assert served.payload["sim_seconds"] == batch.sim_seconds
+        assert served.payload["traversed_edges"] == traversed_edges(
+            edges, batch.depths()
+        )
+
+
+def test_sssp_parity_both_methods(service, edges):
+    root = 3
+    batch = DistributedSSSP(edges, NODES).run(root)
+    served = _query(service, "sssp", {"root": root})
+    assert np.array_equal(served.payload["dist"], batch.dist)
+    assert served.payload["sim_seconds"] == batch.sim_seconds
+
+    batch_delta = DistributedDeltaStepping(edges, NODES, delta=2.0).run(root)
+    served_delta = _query(
+        service, "sssp", {"root": root, "method": "delta-stepping"}
+    )
+    assert np.array_equal(served_delta.payload["dist"], batch_delta.dist)
+    assert served_delta.payload["sim_seconds"] == batch_delta.sim_seconds
+
+
+def test_pagerank_parity_bitwise_floats(service, edges):
+    batch = DistributedPageRank(edges, NODES).run(iterations=10)
+    served = _query(service, "pagerank", {"iterations": 10})
+    # Float ranks must match to the last bit, not to a tolerance.
+    assert served.payload["ranks"].tobytes() == batch.ranks.tobytes()
+    assert served.payload["supersteps"] == batch.supersteps
+
+
+def test_kcore_and_wcc_parity(service, edges):
+    kcore = DistributedKCore(edges, NODES).run(2)
+    served = _query(service, "kcore", {"k": 2})
+    assert np.array_equal(served.payload["in_core"], kcore.in_core)
+    assert served.payload["core_size"] == kcore.core_size()
+
+    wcc = DistributedWCC(edges, NODES).run()
+    served = _query(service, "wcc", {})
+    assert np.array_equal(served.payload["labels"], wcc.labels)
+    assert served.payload["num_components"] == wcc.num_components()
+
+
+def test_cached_result_is_the_same_payload(service):
+    first = _query(service, "bfs", {"root": 23})
+    again = _query(service, "bfs", {"root": 23})
+    assert again.cached
+    assert np.array_equal(again.payload["parent"], first.payload["parent"])
+
+
+def test_runner_accepts_prebuilt_artifacts(edges):
+    """Satellite: prebuilt edges/graph/roots thread through the runner
+    without re-derivation and change nothing in the report."""
+    from repro.graph.csr import CSRGraph
+    from repro.graph500.roots import sample_roots
+    from repro.graph500.runner import Graph500Runner
+
+    runner = Graph500Runner(scale=SCALE, nodes=NODES, seed=SEED)
+    baseline = runner.run(num_roots=2)
+    graph = CSRGraph.from_edges(edges)
+    roots = sample_roots(edges, 2, seed=SEED)
+    prebuilt = Graph500Runner(scale=SCALE, nodes=NODES, seed=SEED).run(
+        num_roots=2, edges=edges, graph=graph, roots=roots
+    )
+    assert [r.seconds for r in prebuilt.runs] == [
+        r.seconds for r in baseline.runs
+    ]
+    assert [r.root for r in prebuilt.runs] == [r.root for r in baseline.runs]
+    assert all(r.validated for r in prebuilt.runs)
+
+
+def test_runner_rejects_graph_without_edges():
+    from repro.errors import ConfigError
+    from repro.graph.csr import CSRGraph
+    from repro.graph500.runner import Graph500Runner
+
+    gen = KroneckerGenerator(6, seed=1).generate()
+    with pytest.raises(ConfigError):
+        Graph500Runner(scale=6, nodes=2).run(
+            num_roots=1, graph=CSRGraph.from_edges(gen)
+        )
+
+
+class _ServerThread:
+    """A live socket frontend for over-the-wire parity."""
+
+    def __init__(self, service):
+        self.server = ServiceServer(service)
+        self.loop = asyncio.new_event_loop()
+        self.ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        self.ready.wait(10)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self.ready.set()
+        self.loop.run_forever()
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+def test_over_socket_parity(service, edges):
+    frontend = _ServerThread(service)
+    try:
+        with ServiceClient(port=frontend.server.port) as client:
+            wire = client.query("g", "bfs", {"root": 3})
+            local = service.query(
+                QueryRequest(graph="g", algo="bfs", params={"root": 3})
+            )
+            assert wire.status == "ok"
+            assert np.array_equal(wire.payload["parent"], local.payload["parent"])
+            assert wire.payload["parent"].dtype == local.payload["parent"].dtype
+            assert wire.payload["sim_seconds"] == local.payload["sim_seconds"]
+
+            ranks_wire = client.query("g", "pagerank", {"iterations": 5})
+            ranks_local = service.query(
+                QueryRequest(graph="g", algo="pagerank", params={"iterations": 5})
+            )
+            assert (
+                ranks_wire.payload["ranks"].tobytes()
+                == ranks_local.payload["ranks"].tobytes()
+            )
+    finally:
+        frontend.stop()

@@ -1,0 +1,101 @@
+"""Wire-protocol framing and the numpy array codec."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    read_frame_length,
+    recv_frame,
+)
+
+
+def _roundtrip(doc):
+    frame = encode_frame(doc)
+    assert read_frame_length(frame[: HEADER.size]) == len(frame) - HEADER.size
+    return decode_body(frame[HEADER.size:])
+
+
+def test_plain_json_roundtrip():
+    doc = {"op": "query", "params": {"root": 3}, "nested": [1, 2.5, None, "x"]}
+    assert _roundtrip(doc) == doc
+
+
+@pytest.mark.parametrize("dtype", ["int64", "int32", "float64", "float32", "bool"])
+def test_array_roundtrip_bit_exact(dtype):
+    rng = np.random.default_rng(7)  # repro: noqa[REP102] - test fixture data
+    arr = (rng.random(257) * 100).astype(dtype)
+    out = _roundtrip({"payload": {"a": arr}})["payload"]["a"]
+    assert out.dtype == arr.dtype
+    assert out.tobytes() == arr.tobytes()
+
+
+def test_array_roundtrip_preserves_shape():
+    arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+    out = _roundtrip({"a": arr})["a"]
+    assert out.shape == (3, 4)
+    assert np.array_equal(out, arr)
+
+
+def test_decoded_array_is_writable():
+    out = _roundtrip({"a": np.arange(4)})["a"]
+    out[0] = 99  # frombuffer views are read-only; the codec must copy
+
+
+def test_numpy_scalars_encode_as_json_numbers():
+    doc = _roundtrip({"n": np.int64(7), "f": np.float64(2.5), "b": np.bool_(True)})
+    assert doc == {"n": 7, "f": 2.5, "b": True}
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(TypeError):
+        encode_frame({"x": object()})
+
+
+def test_oversized_frame_refused_both_ways():
+    with pytest.raises(ProtocolError, match="cap"):
+        read_frame_length(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+
+def test_malformed_frames():
+    with pytest.raises(ProtocolError, match="truncated"):
+        read_frame_length(b"\x00\x00")
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_body(b"not json")
+    with pytest.raises(ProtocolError, match="object"):
+        decode_body(b"[1, 2]")
+    with pytest.raises(ProtocolError, match="malformed array"):
+        decode_body(b'{"__ndarray__": "AAAA", "dtype": "notadtype", "shape": [1]}')
+
+
+def test_recv_frame_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        doc = {"op": "ping", "arr": np.arange(5, dtype=np.int64)}
+        a.sendall(encode_frame(doc))
+        out = recv_frame(b)
+        assert out["op"] == "ping"
+        assert np.array_equal(out["arr"], np.arange(5))
+        a.close()
+        assert recv_frame(b) is None  # clean EOF
+    finally:
+        b.close()
+
+
+def test_recv_frame_mid_frame_eof():
+    a, b = socket.socketpair()
+    try:
+        frame = encode_frame({"op": "ping"})
+        a.sendall(frame[:-3])  # header + truncated body
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()

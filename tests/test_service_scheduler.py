@@ -1,0 +1,273 @@
+"""Admission, fair-queueing, and timeout edge cases.
+
+The scheduler tests run on a fake clock (injected ``clock=``) so refill
+and deadline arithmetic is exact; the service-level cases use real worker
+threads with deadlines orders of magnitude away from the race they probe.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.kronecker import KroneckerGenerator
+from repro.service import (
+    QUEUED,
+    SHED_QUEUE,
+    SHED_RATE,
+    FairScheduler,
+    GraphService,
+    GraphSpec,
+    QueryRequest,
+    ServiceConfig,
+    TenantConfig,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_burst_exactly_at_capacity():
+    """A burst of exactly ``burst`` queries is admitted in full; the next
+    one sheds — the capacity bound is inclusive, not off-by-one."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=4, clock=clock)
+    assert [bucket.try_take() for _ in range(4)] == [True] * 4
+    assert not bucket.try_take()
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+    for _ in range(4):
+        bucket.try_take()
+    clock.advance(0.5)  # one token back at 2/s
+    assert bucket.try_take()
+    assert not bucket.try_take()
+
+
+def test_bucket_caps_refill_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+    clock.advance(1000.0)
+    assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+
+def test_unlimited_bucket():
+    bucket = TokenBucket(rate=None, burst=1, clock=FakeClock())
+    assert all(bucket.try_take() for _ in range(1000))
+
+
+# -- scheduler ---------------------------------------------------------------
+
+
+def test_shed_then_retry_succeeds_after_refill():
+    """A shed tenant that backs off and retries after the bucket refills
+    is admitted — shedding is stateless, not a penalty box."""
+    clock = FakeClock()
+    sched = FairScheduler(clock=clock)
+    sched.configure_tenant("t", TenantConfig(rate=1.0, burst=1))
+    assert sched.offer("t", "q1") == QUEUED
+    assert sched.offer("t", "q2") == SHED_RATE
+    clock.advance(1.0)
+    assert sched.offer("t", "q2-retry") == QUEUED
+    assert sched.take() == "q1"
+    assert sched.take() == "q2-retry"
+
+
+def test_queue_depth_shed():
+    sched = FairScheduler(clock=FakeClock())
+    sched.configure_tenant("t", TenantConfig(max_queue_depth=2))
+    assert sched.offer("t", 1) == QUEUED
+    assert sched.offer("t", 2) == QUEUED
+    assert sched.offer("t", 3) == SHED_QUEUE
+    assert sched.stats("t")["shed_queue"] == 1
+
+
+def test_drr_round_robin_under_skew():
+    """A tenant offering 10x the load still alternates 1:1 with its peer
+    at equal weights — the arrival skew does not buy service skew."""
+    sched = FairScheduler(clock=FakeClock())
+    for i in range(20):
+        sched.offer("heavy", ("heavy", i))
+    sched.offer("light", ("light", 0))
+    sched.offer("light", ("light", 1))
+    order = [sched.take(timeout=0) for _ in range(6)]
+    tenants = [t for t, _ in order]
+    assert tenants.count("light") == 2
+    # The light tenant is served within the first two ring rotations, not
+    # after the heavy backlog drains.
+    assert "light" in tenants[:2]
+
+
+def test_drr_weight_gives_proportional_share():
+    sched = FairScheduler(clock=FakeClock())
+    sched.configure_tenant("gold", TenantConfig(weight=2.0))
+    for i in range(12):
+        sched.offer("gold", ("gold", i))
+        sched.offer("bronze", ("bronze", i))
+    first_six = [sched.take(timeout=0)[0] for _ in range(6)]
+    assert first_six.count("gold") == 4
+    assert first_six.count("bronze") == 2
+
+
+def test_take_returns_none_on_timeout_and_close():
+    sched = FairScheduler(clock=FakeClock())
+    assert sched.take(timeout=0.01) is None
+    sched.offer("t", "item")
+    sched.close()
+    assert sched.take() == "item"  # close drains before returning None
+    assert sched.take() is None
+    with pytest.raises(ConfigError):
+        sched.offer("t", "rejected")
+
+
+def test_configure_replaces_bucket_keeps_queue():
+    clock = FakeClock()
+    sched = FairScheduler(clock=clock)
+    sched.configure_tenant("t", TenantConfig(rate=1.0, burst=1))
+    sched.offer("t", "queued")
+    assert sched.offer("t", "x") == SHED_RATE
+    sched.configure_tenant("t", TenantConfig(rate=100.0, burst=10))
+    assert sched.offer("t", "now-fits") == QUEUED
+    assert sched.depth("t") == 2
+
+
+# -- service-level edge cases -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return KroneckerGenerator(8, seed=1).generate()
+
+
+def _service(**kwargs):
+    config = ServiceConfig(host_shared=False, **kwargs)
+    svc = GraphService(config)
+    svc.load_graph("g", GraphSpec(scale=8, nodes=4, seed=1))
+    return svc
+
+
+def test_timeout_fires_mid_execute_but_caches_payload():
+    """A deadline shorter than the kernel reports ``timeout`` to the
+    caller, yet the validly computed payload fills the cache — the next
+    asker gets an instant hit."""
+    svc = _service(workers=1)
+    try:
+        # The deadline must outlive the (sub-millisecond) queue hop but
+        # not the multi-ten-millisecond kernel, so it fires mid-execute.
+        late = svc.query(
+            QueryRequest(
+                graph="g", algo="pagerank", params={"iterations": 80},
+                timeout=0.01,
+            )
+        )
+        assert late.status == "timeout"
+        assert "during execution" in late.error
+        hit = svc.query(
+            QueryRequest(graph="g", algo="pagerank", params={"iterations": 80})
+        )
+        assert hit.status == "ok" and hit.cached
+        assert len(hit.payload["ranks"]) == 256
+    finally:
+        svc.close()
+
+
+def test_timeout_fires_while_queued():
+    """Behind a slow query on a single worker, a short-deadline query
+    times out at dequeue without executing at all."""
+    svc = _service(workers=1)
+    try:
+        slow = svc.submit(
+            QueryRequest(graph="g", algo="pagerank", params={"iterations": 50})
+        )
+        quick = svc.submit(
+            QueryRequest(graph="g", algo="bfs", params={"root": 0},
+                         timeout=1e-6)
+        )
+        result = quick.result(timeout=30)
+        assert result.status == "timeout"
+        assert "queued" in result.error
+        assert result.payload == {}
+        assert slow.result(timeout=30).status == "ok"
+    finally:
+        svc.close()
+
+
+def test_shed_resolves_future_immediately():
+    svc = _service(workers=1)
+    try:
+        svc.configure_tenant("t", TenantConfig(rate=0.001, burst=1))
+        first = svc.submit(
+            QueryRequest(graph="g", algo="bfs", params={"root": 0}, tenant="t")
+        )
+        shed = svc.submit(
+            QueryRequest(graph="g", algo="bfs", params={"root": 1}, tenant="t")
+        )
+        result = shed.result(timeout=1)
+        assert result.status == "shed"
+        assert "rate limit" in result.error
+        assert first.result(timeout=30).status == "ok"
+        assert svc.tenant_stats("t")["shed"] == 1
+    finally:
+        svc.close()
+
+
+def test_cache_hit_racing_eviction():
+    """Eviction invalidates the graph's cache lines before the entry is
+    released: a query submitted after evict can neither hit the stale
+    line nor execute against the gone graph."""
+    svc = _service(workers=2)
+    try:
+        request = QueryRequest(graph="g", algo="bfs", params={"root": 5})
+        warm = svc.query(request)
+        assert warm.status == "ok"
+        assert svc.cache.get(request.key()) is not None  # line is hot
+        svc.cache.stats()
+        outcome = svc.evict_graph("g")
+        assert outcome["released"]
+        assert svc.cache.get(request.key()) is None  # invalidated with it
+        after = svc.query(request)
+        assert after.status == "error"
+        assert "unknown graph" in after.error
+    finally:
+        svc.close()
+
+
+def test_pinned_entry_survives_eviction_until_released():
+    """The deferred-release half of the race: a pin taken before evict
+    keeps the artifacts alive; release happens when the pin drops."""
+    svc = _service(workers=1)
+    try:
+        catalog = svc.catalog
+        with catalog.pin("g") as entry:
+            svc.evict_graph("g")
+            assert entry.evicted
+            # Still usable under the pin: the arrays are not torn down.
+            payload = entry.graph.row_ptr
+            assert payload is not None
+        assert "g" not in catalog.names()
+    finally:
+        svc.close()
+
+
+def test_cache_disabled_service_still_serves():
+    svc = _service(workers=1, cache_capacity=0)
+    try:
+        assert svc.cache is None
+        first = svc.query(QueryRequest(graph="g", algo="bfs", params={"root": 2}))
+        second = svc.query(QueryRequest(graph="g", algo="bfs", params={"root": 2}))
+        assert first.status == second.status == "ok"
+        assert not second.cached
+    finally:
+        svc.close()
