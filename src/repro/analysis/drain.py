@@ -1,0 +1,125 @@
+"""Drain-context reachability: the interprocedural upgrade of REP107.
+
+Under parallel drain (``drain_workers > 1``) every event callback routed
+through the engine's delivery/injection tables executes on a worker
+thread. The syntactic REP107 lint flags shared-handle stores
+(``x.engine.attr = ...``) one file at a time; this pass computes the set
+of functions *reachable* from the registered routes — across modules,
+across scopes, through any number of call hops — and flags every
+unjournaled shared-handle store inside that set (rule REP201), reporting
+the call chain from the root that reaches it.
+
+Traversal stops at journal-aware sinks: functions that are annotated
+``journaled`` (:mod:`repro.analysis.effects`) or whose body references
+the drain journal machinery (``journal`` / ``_DRAIN_SINK`` /
+``fold_max`` / ``fold_add`` / ``metric_op`` / ``span_op``) are trusted
+to route their mutations through the journal — that trust is exactly
+what REP204 effect validation and the parallel-drain parity gates in CI
+are for. Files exempt from REP107 (the journal implementation itself in
+``repro/sim/partition.py``, the fault interposers in
+``repro/sim/faults.py``) are exempt here for the same reasons.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    _iter_own_statements,
+)
+from repro.sanitizers.determinism import (
+    _flatten_store_targets,
+    _store_shared_handle,
+)
+from repro.sanitizers.rules import RULE_EXEMPT_FILES
+
+#: Identifiers whose presence marks a function as journal-aware: it
+#: either consults the thread-local journal or emits journal ops.
+_JOURNAL_MARKERS = frozenset(
+    {"journal", "_DRAIN_SINK", "fold_max", "fold_add", "metric_op", "span_op"}
+)
+
+
+def body_mentions_journal(info: FunctionInfo) -> bool:
+    """Whether the journal machinery appears in the function's own body."""
+    for node in _iter_own_statements(info.node):
+        if isinstance(node, ast.Name) and node.id in _JOURNAL_MARKERS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _JOURNAL_MARKERS:
+            return True
+    return False
+
+
+def is_journal_aware(info: FunctionInfo) -> bool:
+    """Whether the function is a journal-aware sink (annotation or the
+    journal machinery appearing in its own body)."""
+    return "journaled" in info.effects or body_mentions_journal(info)
+
+
+def _is_exempt(info: FunctionInfo) -> bool:
+    norm = info.path.replace("\\", "/")
+    return any(
+        norm.endswith(suffix) for suffix in RULE_EXEMPT_FILES.get("REP107", ())
+    )
+
+
+def reachable_from_roots(graph: CallGraph) -> dict[str, tuple[str, ...]]:
+    """BFS over call edges from the registered drain roots.
+
+    Returns ``{qualname: chain}`` where ``chain`` is a shortest
+    root-to-function call path (the finding's explanation). Journal-aware
+    sinks terminate traversal: they appear in the map but their callees
+    are not visited through them.
+    """
+    chains: dict[str, tuple[str, ...]] = {}
+    queue: deque[str] = deque()
+    for root in graph.roots:
+        if root in graph.functions and root not in chains:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        qual = queue.popleft()
+        info = graph.functions[qual]
+        if is_journal_aware(info) and qual not in graph.roots:
+            continue
+        for callee in graph.edges.get(qual, ()):
+            if callee not in chains and callee in graph.functions:
+                chains[callee] = chains[qual] + (callee,)
+                queue.append(callee)
+    return chains
+
+
+def find_drain_violations(
+    graph: CallGraph,
+) -> list[tuple[FunctionInfo, ast.AST, str, tuple[str, ...]]]:
+    """Unjournaled shared-handle stores in drain-reachable functions.
+
+    Yields ``(function, store_node, handle, chain)`` tuples, ordered by
+    (display path, line) for deterministic reporting.
+    """
+    chains = reachable_from_roots(graph)
+    out: list[tuple[FunctionInfo, ast.AST, str, tuple[str, ...]]] = []
+    for qual in sorted(chains):
+        info = graph.functions[qual]
+        if _is_exempt(info) or is_journal_aware(info):
+            continue
+        for node in _iter_own_statements(info.node):
+            targets: tuple[ast.AST, ...]
+            if isinstance(node, ast.Assign):
+                targets = tuple(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue
+                targets = (node.target,)
+            else:
+                continue
+            for target in targets:
+                for leaf in _flatten_store_targets(target):
+                    handle = _store_shared_handle(leaf)
+                    if handle is not None:
+                        out.append((info, leaf, handle, chains[qual]))
+    out.sort(key=lambda t: (t[0].display, getattr(t[1], "lineno", 0)))
+    return out

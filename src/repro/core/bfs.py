@@ -339,7 +339,7 @@ class DistributedBFS:
         return ship + build
 
     # ------------------------------------------------------------- time marks --
-    def _mark(self, t: float) -> None:
+    def _mark(self, t: float) -> None:  # repro: effect=journaled
         if t > self._t_max:
             journal = self.engine.journal
             if journal is None:
@@ -351,7 +351,7 @@ class DistributedBFS:
                 # guard above reads a stable pre-window value.
                 journal.fold_max(self, "_t_max", t)
 
-    def _count_records(self, count: int) -> None:
+    def _count_records(self, count: int) -> None:  # repro: effect=journaled
         journal = self.engine.journal
         if journal is None:
             self._records_sent += count

@@ -7,8 +7,8 @@ turned into machine-checked properties:
   the simulator sources: wall-clock reads, global RNG, hash-order
   iteration, unsorted set unions, slot-less hot dataclasses, PDES
   channel bypasses, journal-bypassing shared-state mutation,
-  service-layer kernel-construction bypasses
-  (rule ids REP101-REP108, ``# repro: noqa[RULE]`` suppressions);
+  service-layer kernel-construction bypasses, bare lock acquires
+  (rule ids REP101-REP109, ``# repro: noqa[RULE]`` suppressions);
 - :mod:`~repro.sanitizers.mesh_prover` — static prover for the Section
   4.3 register-mesh shuffle: role partition, row-then-column direction
   discipline, channel-dependency acyclicity, per-phase port exclusivity
@@ -39,6 +39,7 @@ from repro.sanitizers.mesh_prover import (
     schedule_from_plan,
 )
 from repro.sanitizers.rules import RULES, Finding, LintReport, Rule
+from repro.sanitizers.sarif import sarif_document
 from repro.sanitizers.runtime import (
     DeterminismReport,
     MessageSanitizer,
@@ -58,6 +59,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "sarif_document",
     "MeshSchedule",
     "Transfer",
     "ProofReport",

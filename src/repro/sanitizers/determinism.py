@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import ast
 import os
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.sanitizers.rules import (
     RULES,
@@ -98,7 +98,7 @@ def _dotted_name(node: ast.AST) -> str | None:
     return None
 
 
-def _flatten_store_targets(target: ast.AST):
+def _flatten_store_targets(target: ast.AST) -> Iterator[ast.AST]:
     """Leaf store targets of an assignment (unpacks tuple/list targets)."""
     if isinstance(target, (ast.Tuple, ast.List)):
         for elt in target.elts:
@@ -150,7 +150,7 @@ def _is_set_expr(node: ast.AST) -> bool:
 class _LintVisitor(ast.NodeVisitor):
     """One file's walk; collects findings before suppression filtering."""
 
-    def __init__(self, path: str, scope: str):
+    def __init__(self, path: str, scope: str) -> None:
         self.path = path
         self.scope = scope
         self.findings: list[Finding] = []
@@ -317,7 +317,9 @@ class _LintVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- journal-bypass mutation (REP107) ---------------------------------------
-    def _check_shared_store(self, node: ast.AST, targets) -> None:
+    def _check_shared_store(
+        self, node: ast.AST, targets: Iterable[ast.AST]
+    ) -> None:
         for target in targets:
             for leaf in _flatten_store_targets(target):
                 handle = _store_shared_handle(leaf)
@@ -377,6 +379,116 @@ class _LintVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# -- bare lock.acquire() (REP109) ----------------------------------------------
+def _is_acquire_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "acquire"
+    )
+
+
+def _acquire_receiver(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return _dotted_name(node.func.value)
+    return None
+
+
+def _release_receivers(stmts: list[ast.stmt]) -> frozenset[str]:
+    """Dotted receivers of ``.release()`` calls anywhere under ``stmts``."""
+    out: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+            ):
+                recv = _dotted_name(node.func.value)
+                if recv is not None:
+                    out.add(recv)
+    return frozenset(out)
+
+
+def _scan_bare_acquires(tree: ast.AST, visitor: _LintVisitor) -> None:
+    """Flag ``lock.acquire()`` calls not paired with a finally-release.
+
+    Two shapes are accepted: a with-statement (never produces a bare
+    ``.acquire()`` call, so nothing to do), and the explicit idiom::
+
+        lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+
+    where the acquire statement is immediately followed by a ``try``
+    whose ``finally`` releases the same receiver, or the acquire sits
+    inside a ``try`` body whose ``finally`` releases it (the
+    conditional-acquire shape ``if lock.acquire(timeout=...)``).
+    Everything else leaks the lock on an exception between acquire and
+    release.
+    """
+    safe: set[int] = set()
+
+    def mark_sibling_idiom(stmts: list[ast.stmt]) -> None:
+        for i, stmt in enumerate(stmts[:-1]):
+            if not (isinstance(stmt, ast.Expr) and _is_acquire_call(stmt.value)):
+                continue
+            assert isinstance(stmt.value, ast.Call)
+            recv = _acquire_receiver(stmt.value)
+            nxt = stmts[i + 1]
+            if (
+                recv is not None
+                and isinstance(nxt, ast.Try)
+                and recv in _release_receivers(nxt.finalbody)
+            ):
+                safe.add(id(stmt.value))
+
+    def visit(node: ast.AST, released: frozenset[str]) -> None:
+        if isinstance(node, ast.Try):
+            inner = released | _release_receivers(node.finalbody)
+            for stmt in node.body:
+                visit(stmt, inner)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    visit(stmt, inner)
+            for stmt in node.orelse:
+                visit(stmt, inner)
+            for stmt in node.finalbody:
+                visit(stmt, released)
+            return
+        if (
+            _is_acquire_call(node)
+            and id(node) not in safe
+        ):
+            assert isinstance(node, ast.Call)
+            recv = _acquire_receiver(node)
+            if recv is None or recv not in released:
+                visitor._emit(
+                    "REP109",
+                    node,
+                    f"bare {recv or '<lock>'}.acquire() without with/"
+                    "try-finally: an exception before release leaks the "
+                    "lock; use 'with lock:' or release in a finally",
+                )
+        for value in ast.iter_child_nodes(node):
+            if isinstance(value, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(value, frozenset())
+            else:
+                visit(value, released)
+
+    for child in ast.walk(tree):
+        for _, value in ast.iter_fields(child):
+            if (
+                isinstance(value, list)
+                and value
+                and isinstance(value[0], ast.stmt)
+            ):
+                mark_sibling_idiom(value)
+    visit(tree, frozenset())
+
+
 def lint_source(
     source: str, path: str = "<string>", scope: str | None = None
 ) -> LintReport:
@@ -397,6 +509,7 @@ def lint_source(
         return report
     visitor = _LintVisitor(path, scope if scope is not None else path_scope(path))
     visitor.visit(tree)
+    _scan_bare_acquires(tree, visitor)
     lines = source.splitlines()
     for finding in visitor.findings:
         if is_suppressed(finding, lines):

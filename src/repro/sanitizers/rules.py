@@ -127,6 +127,15 @@ RULES: dict[str, Rule] = {
             "pinned CatalogEntry so lifecycle, caching, and parity hold",
             "service",
         ),
+        Rule(
+            "REP109",
+            "bare-lock-acquire",
+            "bare lock.acquire() outside a with-statement or an "
+            "acquire/try/finally-release idiom; an exception between "
+            "acquire and release leaks the lock and deadlocks the next "
+            "taker — use 'with lock:' (or release in a finally)",
+            "repro",
+        ),
     )
 }
 
@@ -191,6 +200,29 @@ class LintReport:
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
+        )
+
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 rendering (GitHub code scanning ingestion); shares
+        the exporter with ``repro analyze``."""
+        from repro.sanitizers.sarif import sarif_document
+
+        return sarif_document(
+            tool_name="repro-lint",
+            rules=[
+                {"id": r.id, "name": r.name, "summary": r.summary}
+                for r in RULES.values()
+            ],
+            results=[
+                {
+                    "rule": f.rule,
+                    "path": f.path.replace("\\", "/"),
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
         )
 
 

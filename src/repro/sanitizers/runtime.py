@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -77,7 +78,7 @@ class SpmWriteSanitizer:
     exactly the paper's "no contention, no atomics" claim.
     """
 
-    def __init__(self, raise_on_violation: bool = True):
+    def __init__(self, raise_on_violation: bool = True) -> None:
         self.raise_on_violation = raise_on_violation
         self.conflicts: list[SpmConflict] = []
         self.phases_checked = 0
@@ -114,7 +115,9 @@ class SpmWriteSanitizer:
                     )
         self._claims.append(new)
 
-    def check_bucket_writes(self, plan, destinations, phase: str) -> None:
+    def check_bucket_writes(
+        self, plan: Any, destinations: Iterable[int], phase: str
+    ) -> None:
         """Verify one shuffle's consumer writes are contention-free.
 
         ``destinations`` are the bucket destination indices of one module
@@ -200,7 +203,7 @@ class MessageSanitizer:
     the original methods.
     """
 
-    def __init__(self, cluster, raise_on_violation: bool = True):
+    def __init__(self, cluster: Any, raise_on_violation: bool = True) -> None:
         self.cluster = cluster
         self.raise_on_violation = raise_on_violation
         self.violations: list[MutationViolation] = []
@@ -214,12 +217,28 @@ class MessageSanitizer:
         cluster._deliver = self._deliver
 
     # -- interception -----------------------------------------------------------
-    def _send(self, src, dst, tag, nbytes, payload=None, at_time=None):
+    def _send(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        nbytes: int,
+        payload: Any = None,
+        at_time: float | None = None,
+    ) -> Any:
         msg = self._original_send(src, dst, tag, nbytes, payload, at_time)
         self._digests[id(msg)] = payload_digest(msg.payload)
         return msg
 
-    def _send_batch(self, src, dests, tag, nbytes, payloads=None, at_times=None):
+    def _send_batch(
+        self,
+        src: int,
+        dests: Any,
+        tag: str,
+        nbytes: int,
+        payloads: Any = None,
+        at_times: Any = None,
+    ) -> Any:
         msgs = self._original_send_batch(
             src, dests, tag, nbytes, payloads, at_times
         )
@@ -227,7 +246,7 @@ class MessageSanitizer:
             self._digests[id(msg)] = payload_digest(msg.payload)
         return msgs
 
-    def _deliver(self, msg) -> None:
+    def _deliver(self, msg: Any) -> None:
         expected = self._digests.pop(id(msg), None)
         if expected is not None:
             self.messages_checked += 1
@@ -293,7 +312,7 @@ def _digest_text(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def run_digest(run_fn) -> RunDigest:
+def run_digest(run_fn: Callable[[Any], str]) -> RunDigest:
     """Execute one benchmark run and digest its externally visible state.
 
     ``run_fn(telemetry)`` performs the run and returns the report text;
@@ -325,8 +344,8 @@ def check_determinism(
     workers: int = 1,
     runs: int = 2,
     validate: bool = False,
-    engine_partitions=1,
-    drain_workers=1,
+    engine_partitions: int | Sequence[int] = 1,
+    drain_workers: int | Sequence[int] = 1,
     drain_backend: str = "thread",
 ) -> DeterminismReport:
     """Run the benchmark ``runs`` times and diff every digest.
@@ -355,8 +374,8 @@ def check_determinism(
     else:
         drain_cycle = [int(w) for w in drain_workers] or [1]
 
-    def make_run_fn(partitions, drain):
-        def run_fn(tel):
+    def make_run_fn(partitions: int, drain: int) -> Callable[[Any], str]:
+        def run_fn(tel: Any) -> str:
             runner = Graph500Runner(
                 scale=scale,
                 nodes=nodes,

@@ -24,13 +24,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.analysis.effects import effects
 from repro.errors import ConfigError
 
 
 class ResultCache:
     """Bounded LRU keyed by :func:`repro.service.query.cache_key`."""
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -46,7 +47,8 @@ class ResultCache:
         with self._lock:
             return len(self._lines)
 
-    def get(self, key: tuple):
+    @effects("locked:ResultCache._lock")
+    def get(self, key: tuple) -> object | None:
         """The cached payload for ``key`` (marked most-recent), or None."""
         with self._lock:
             value = self._lines.get(key)
@@ -57,6 +59,7 @@ class ResultCache:
             self.hits += 1
             return value
 
+    @effects("locked:ResultCache._lock")
     def put(self, key: tuple, value: object) -> None:
         """Insert/refresh a line, evicting the least-recent past capacity."""
         with self._lock:

@@ -25,16 +25,23 @@ generator, same shared-CSR construction, same kernel defaults.
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis.effects import effects
 from repro.errors import ConfigError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
 from repro.graph.kronecker import KroneckerGenerator
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:
+    from repro.graph.shm import SharedCSR
+    from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -63,8 +70,8 @@ class CatalogEntry:
         spec: GraphSpec,
         edges: EdgeList,
         graph: CSRGraph,
-        shared=None,
-    ):
+        shared: SharedCSR | None = None,
+    ) -> None:
         self.name = name
         self.spec = spec
         self.edges = edges
@@ -90,7 +97,8 @@ class CatalogEntry:
         )
 
     # -- kernels ------------------------------------------------------------------
-    def _bfs_kernel(self, variant: str):
+    @effects("locked:CatalogEntry._kernel_lock")
+    def _bfs_kernel(self, variant: str) -> tuple[object, threading.Lock]:
         with self._kernel_lock:
             hit = self._bfs_kernels.get(variant)
             if hit is None:
@@ -221,6 +229,7 @@ class CatalogEntry:
         }
 
     # -- teardown -----------------------------------------------------------------
+    @effects("locked:CatalogEntry._kernel_lock")
     def _release(self) -> None:
         """Drop kernels and unhost the shm segment (last pin is gone)."""
         with self._kernel_lock:
@@ -233,10 +242,14 @@ class CatalogEntry:
 class GraphCatalog:
     """Named resident graphs with load/pin/evict lifecycle."""
 
-    def __init__(self, metrics=None, host_shared: bool = True):
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        host_shared: bool = True,
+    ) -> None:
         self._entries: dict[str, CatalogEntry] = {}
         self._lock = threading.Lock()
-        self._eviction_listeners: list = []
+        self._eviction_listeners: list[Callable[[str], None]] = []
         self.metrics = metrics
         #: Rehost loaded CSRs into POSIX shared memory when available so
         #: worker processes (and anything else on the box) can map the
@@ -296,7 +309,7 @@ class GraphCatalog:
             return sorted(self._entries)
 
     @contextmanager
-    def pin(self, name: str):
+    def pin(self, name: str) -> Iterator[CatalogEntry]:
         """Hold ``name``'s entry against release for the with-block.
 
         Pins taken before an evict stay valid for their whole block (the
@@ -317,7 +330,7 @@ class GraphCatalog:
             if release:
                 entry._release()
 
-    def add_eviction_listener(self, callback) -> None:
+    def add_eviction_listener(self, callback: Callable[[str], None]) -> None:
         """``callback(name)`` fires inside :meth:`evict`, before release."""
         self._eviction_listeners.append(callback)
 

@@ -27,7 +27,7 @@ class ServiceClient:
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 0, timeout: float | None = 30.0
-    ):
+    ) -> None:
         self.host = host
         self.port = port
         self._sock = socket.create_connection((host, port), timeout=timeout)
@@ -55,7 +55,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- ops ----------------------------------------------------------------------

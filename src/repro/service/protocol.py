@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import base64
 import json
+import socket
 import struct
 
 import numpy as np
@@ -40,7 +41,7 @@ MAX_FRAME_BYTES = 64 * 2**20
 _NDARRAY_TAG = "__ndarray__"
 
 
-def _encode_default(obj):
+def _encode_default(obj: object) -> object:
     if isinstance(obj, np.ndarray):
         return {
             _NDARRAY_TAG: base64.b64encode(obj.tobytes()).decode("ascii"),
@@ -56,7 +57,7 @@ def _encode_default(obj):
     raise TypeError(f"cannot encode {type(obj).__name__} on the wire")
 
 
-def _decode_hook(doc: dict):
+def _decode_hook(doc: dict) -> object:
     if _NDARRAY_TAG in doc:
         try:
             raw = base64.b64decode(doc[_NDARRAY_TAG])
@@ -102,7 +103,7 @@ def read_frame_length(header: bytes) -> int:
     return length
 
 
-def recv_frame(sock) -> dict | None:
+def recv_frame(sock: socket.socket) -> dict | None:
     """Read one frame from a blocking socket; None on clean EOF."""
     header = _recv_exact(sock, HEADER.size)
     if header is None:
@@ -113,7 +114,7 @@ def recv_frame(sock) -> dict | None:
     return decode_body(body)
 
 
-def _recv_exact(sock, n: int) -> bytes | None:
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     """Exactly ``n`` bytes, or None on EOF before the first byte."""
     chunks: list[bytes] = []
     remaining = n

@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -40,8 +41,11 @@ class TokenBucket:
     """Classic token bucket; ``rate=None`` admits everything."""
 
     def __init__(
-        self, rate: float | None, burst: float, clock=time.monotonic
-    ):
+        self,
+        rate: float | None,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if rate is not None and rate <= 0:
             raise ConfigError(f"rate must be positive or None, got {rate}")
         if burst < 1:
@@ -94,7 +98,9 @@ class _TenantState:
         "admitted", "shed_rate", "shed_queue", "served", "peak_depth",
     )
 
-    def __init__(self, name: str, config: TenantConfig, clock):
+    def __init__(
+        self, name: str, config: TenantConfig, clock: Callable[[], float]
+    ) -> None:
         self.name = name
         self.config = config
         self.bucket = TokenBucket(config.rate, config.burst, clock)
@@ -115,8 +121,8 @@ class FairScheduler:
         self,
         quantum: float = 1.0,
         default_config: TenantConfig | None = None,
-        clock=time.monotonic,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if quantum <= 0:
             raise ConfigError(f"quantum must be positive, got {quantum}")
         self.quantum = quantum
@@ -173,7 +179,7 @@ class FairScheduler:
             return QUEUED
 
     # -- dispatch ----------------------------------------------------------------
-    def take(self, timeout: float | None = None):
+    def take(self, timeout: float | None = None) -> object | None:
         """Next item in DRR order, or None on timeout / after :meth:`close`.
 
         One call serves one item; a tenant's deficit carries across calls,

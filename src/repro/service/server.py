@@ -23,6 +23,7 @@ Ops:
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable
 
 from repro.errors import ProtocolError, ReproError
 from repro.service.catalog import GraphSpec
@@ -43,7 +44,9 @@ _ARRAY_KEYS = ("parent", "dist", "ranks", "in_core", "labels")
 class ServiceServer:
     """TCP frontend bound to one :class:`GraphService`."""
 
-    def __init__(self, service: GraphService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, service: GraphService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
         self.service = service
         self.host = host
         self.port = port
@@ -184,7 +187,7 @@ async def run_server(
     service: GraphService,
     host: str = "127.0.0.1",
     port: int = 0,
-    ready_callback=None,
+    ready_callback: Callable[["ServiceServer"], None] | None = None,
 ) -> None:
     """Start a :class:`ServiceServer` and serve until cancelled."""
     server = ServiceServer(service, host=host, port=port)

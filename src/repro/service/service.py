@@ -31,12 +31,17 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError, ReproError
 from repro.service.cache import ResultCache
-from repro.service.catalog import GraphCatalog, GraphSpec
+from repro.service.catalog import CatalogEntry, GraphCatalog, GraphSpec
+
+if TYPE_CHECKING:
+    from repro.graph.edgelist import EdgeList
 from repro.service.query import QueryRequest, QueryResult
 from repro.service.scheduler import (
     QUEUED,
@@ -85,7 +90,13 @@ class _Pending:
 
     __slots__ = ("request", "future", "submitted", "deadline")
 
-    def __init__(self, request, future, submitted, deadline):
+    def __init__(
+        self,
+        request: QueryRequest,
+        future: Future,
+        submitted: float,
+        deadline: float | None,
+    ) -> None:
         self.request = request
         self.future = future
         self.submitted = submitted
@@ -99,8 +110,8 @@ class GraphService:
         self,
         config: ServiceConfig | None = None,
         metrics: MetricsRegistry | None = None,
-        clock=time.monotonic,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock
@@ -132,7 +143,9 @@ class GraphService:
             t.start()
 
     # -- catalog passthroughs ----------------------------------------------------
-    def load_graph(self, name: str, spec: GraphSpec, edges=None):
+    def load_graph(
+        self, name: str, spec: GraphSpec, edges: EdgeList | None = None
+    ) -> CatalogEntry:
         return self.catalog.load(name, spec, edges=edges)
 
     def evict_graph(self, name: str) -> dict:
@@ -284,7 +297,7 @@ class GraphService:
     def __enter__(self) -> "GraphService":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- reporting ---------------------------------------------------------------

@@ -957,7 +957,7 @@ class PartitionedEngine(Engine):
             return table[msg.dst]
         return self._fabric
 
-    def _lane_pure(
+    def _lane_pure(  # repro: effect=pure
         self, fn: Callable[..., None], args: tuple[Any, ...]
     ) -> int:
         """Lane classification without the channel side effect — used by

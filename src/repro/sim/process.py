@@ -14,7 +14,7 @@ its completion event carries the generator's return value.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from typing import Any
 
 from repro.errors import SimulationError
@@ -60,6 +60,6 @@ class Process:
                 f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
             )
 
-    def add_callback(self, cb) -> None:
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
         """Waitable protocol: forward to the completion event."""
         self.done.add_callback(cb)

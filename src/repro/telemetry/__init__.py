@@ -32,6 +32,8 @@ or, standalone on a kernel::
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import ConfigError
 from repro.telemetry.critical_path import (
     CriticalPathReport,
@@ -82,7 +84,7 @@ class Telemetry:
         enabled: bool = True,
         record_spans: bool = True,
         record_intervals: bool = True,
-    ):
+    ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.spans = (
@@ -106,7 +108,7 @@ class Telemetry:
         return self._stack.pop() if self._stack else None
 
     # -- wiring ------------------------------------------------------------------
-    def attach_kernel(self, bfs) -> None:
+    def attach_kernel(self, bfs: Any) -> None:
         """Instrument a constructed :class:`~repro.core.bfs.DistributedBFS`.
 
         Adopts the kernel cluster's stats registry as :attr:`metrics`

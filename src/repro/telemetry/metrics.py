@@ -57,7 +57,7 @@ class Counter:
     name: str
     value: float = 0.0
 
-    def add(self, amount: float = 1.0) -> None:
+    def add(self, amount: float = 1.0) -> None:  # repro: effect=journaled
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is None:
             self.value += amount
@@ -72,21 +72,21 @@ class Gauge:
     name: str
     value: float = 0.0
 
-    def set(self, value: float) -> None:
+    def set(self, value: float) -> None:  # repro: effect=journaled
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is None:
             self.value = value
         else:
             journal.metric_op("gset", self, value)
 
-    def add(self, amount: float = 1.0) -> None:
+    def add(self, amount: float = 1.0) -> None:  # repro: effect=journaled
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is None:
             self.value += amount
         else:
             journal.metric_op("gadd", self, amount)
 
-    def max(self, value: float) -> None:
+    def max(self, value: float) -> None:  # repro: effect=journaled
         """Keep the running maximum (peak-tracking gauges)."""
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is None:
@@ -112,7 +112,7 @@ class Histogram:
         if not self.counts:
             self.counts = [0] * len(self.buckets)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float) -> None:  # repro: effect=journaled
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is not None:
             journal.metric_op("hobs", self, value)
@@ -169,7 +169,7 @@ class TimeSeries:
     times: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
 
-    def observe(self, time: float, value: float) -> None:
+    def observe(self, time: float, value: float) -> None:  # repro: effect=journaled
         journal = getattr(_DRAIN_SINK, "journal", None)
         if journal is None:
             self.times.append(time)
@@ -200,7 +200,9 @@ class _Family:
     children: dict[tuple, object] = field(default_factory=dict)
 
 
-def _render_key(name: str, label_keys: tuple[str, ...], values: tuple) -> str:
+def _render_key(  # repro: effect=pure
+    name: str, label_keys: tuple[str, ...], values: tuple
+) -> str:
     if not label_keys:
         return name
     inner = ",".join(f"{k}={v}" for k, v in zip(label_keys, values))
@@ -228,7 +230,7 @@ class MetricsRegistry:
         self._create_lock = threading.Lock()
 
     # -- family plumbing -----------------------------------------------------
-    def _child(
+    def _child(  # repro: effect=locked:MetricsRegistry._create_lock
         self, name: str, kind: str, labels: dict, factory: Callable[[str], Any]
     ) -> Any:
         keys = tuple(sorted(labels))

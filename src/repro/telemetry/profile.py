@@ -14,10 +14,13 @@ busy intervals and metrics into one machine-readable document:
 from __future__ import annotations
 
 from repro.telemetry import Telemetry, analyze_critical_path, attribute_window
+from repro.telemetry.spans import Span
 from repro.telemetry.export import root_attribution_entry, run_report
 
 
-def _level_windows_of(tel: Telemetry, root_span) -> list[tuple[int, float, float]]:
+def _level_windows_of(
+    tel: Telemetry, root_span: Span
+) -> list[tuple[int, float, float]]:
     return [
         (int(s.attrs.get("level", 0)), s.start, s.finish)
         for s in tel.spans.spans

@@ -1,0 +1,44 @@
+"""Seed for REP202: a two-lock acquisition-order cycle.
+
+``MirrorCatalog.refresh`` takes the catalog lock and then calls into
+the cache (cache lock); ``MirrorCache.evict`` takes the cache lock and
+then calls back into the catalog (catalog lock). Either order alone is
+fine; together they deadlock the moment two threads walk the cycle
+from different ends.
+"""
+
+import threading
+
+
+class MirrorCatalog:
+    def __init__(self, cache):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.cache = cache
+
+    def refresh(self):
+        # SEED REP202 (first half): catalog lock -> cache lock.
+        with self._lock:
+            self._entries.clear()
+            self.cache.invalidate_all()
+
+    def entry_count(self):
+        with self._lock:
+            return len(self._entries)
+
+
+class MirrorCache:
+    def __init__(self, catalog):
+        self._lock = threading.Lock()
+        self._values = {}
+        self.catalog = catalog
+
+    def invalidate_all(self):
+        with self._lock:
+            self._values.clear()
+
+    def evict(self):
+        # SEED REP202 (second half): cache lock -> catalog lock.
+        with self._lock:
+            if self.catalog.entry_count() == 0:
+                self._values.clear()

@@ -1,0 +1,26 @@
+"""Seed for REP201: an unjournaled shared-state mutation hidden one
+call hop below a registered delivery route.
+
+``install`` registers ``Relay._deliver`` as a drain root; ``_deliver``
+itself is innocent, but it calls ``_bump``, which mutates engine state
+through the shared handle without going through the journal API. The
+syntactic REP107 lint cannot see this (the store and the registration
+live in different functions); the interprocedural pass must.
+"""
+
+
+class Relay:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def _deliver(self, src, dst, msg):
+        self._bump(msg)
+
+    def _bump(self, msg):
+        # SEED REP201: raced under parallel drain; should be
+        # self.engine.journal.fold_add("delivered", 1).
+        self.engine.delivered += 1
+
+
+def install(engine):
+    engine.register_delivery(Relay._deliver)

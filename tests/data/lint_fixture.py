@@ -58,3 +58,11 @@ def rogue_query(edges):
     from repro.baselines import make_variant
 
     return make_variant("relay-cpe", edges, 4).run(0)
+
+
+def leaky_critical_section(lock, work) -> None:
+    # REP109: a bare acquire leaks the lock when work() raises; the
+    # next taker deadlocks. Use 'with lock:' or release in a finally.
+    lock.acquire()
+    work()
+    lock.release()
